@@ -1,0 +1,122 @@
+// Command rmexperiments regenerates every table and figure of the paper's
+// evaluation (plus the extension experiments indexed in DESIGN.md §4).
+//
+// Usage:
+//
+//	rmexperiments                 # run everything, print to stdout
+//	rmexperiments -run fig9       # run one experiment
+//	rmexperiments -list           # list experiment ids
+//	rmexperiments -out results/   # also write per-experiment .txt and .csv
+//	rmexperiments -quick          # trimmed sweeps (smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "", "run a single experiment id (default: all)")
+		out      = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
+		md       = flag.String("md", "", "write a single Markdown report to this file")
+		quick    = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-14s %-12s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	var todo []experiment.Experiment
+	if *run != "" {
+		e, err := experiment.ByID(*run)
+		if err != nil {
+			fatal(err)
+		}
+		todo = []experiment.Experiment{e}
+	} else {
+		todo = experiment.All()
+	}
+
+	ctx := experiment.Context{Parallelism: *parallel, Quick: *quick}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	var report strings.Builder
+	if *md != "" {
+		fmt.Fprintf(&report, "# Reproduction report\n\nGenerated %s by `rmexperiments`.\n\n",
+			time.Now().UTC().Format("2006-01-02 15:04 UTC"))
+	}
+	for _, e := range todo {
+		start := time.Now()
+		output, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("=== %s (%s) — %s [%v] ===\n\n", e.ID, e.Paper, e.Title, time.Since(start).Round(time.Millisecond))
+		if err := output.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			if err := writeFiles(*out, output); err != nil {
+				fatal(err)
+			}
+		}
+		if *md != "" {
+			fmt.Fprintf(&report, "## %s — %s\n\n%s\n\n```text\n", e.ID, e.Paper, e.Title)
+			if err := output.Render(&report); err != nil {
+				fatal(err)
+			}
+			report.WriteString("```\n\n")
+		}
+	}
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("markdown report written to %s\n", *md)
+	}
+}
+
+func writeFiles(dir string, o experiment.Output) error {
+	var txt strings.Builder
+	if err := o.Render(&txt); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, o.ID+".txt"), []byte(txt.String()), 0o644); err != nil {
+		return err
+	}
+	for i, t := range o.Tables {
+		name := o.ID
+		if len(o.Tables) > 1 {
+			name = fmt.Sprintf("%s-%d", o.ID, i+1)
+		}
+		var csv strings.Builder
+		if err := t.WriteCSV(&csv); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmexperiments:", err)
+	os.Exit(1)
+}

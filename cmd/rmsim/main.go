@@ -1,0 +1,160 @@
+// Command rmsim runs a single adaptive resource-management simulation and
+// prints its metrics, adaptation events, and (optionally) the per-period
+// trace as CSV.
+//
+// Usage:
+//
+//	rmsim -alg predictive -pattern triangular -max 12000 -periods 120
+//	rmsim -alg non-predictive -pattern step -max 8000 -trace trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dynbench"
+	"repro/internal/experiment"
+	"repro/internal/export"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		algFlag  = flag.String("alg", "predictive", "algorithm: predictive | non-predictive | greedy | static-max")
+		pattern  = flag.String("pattern", "triangular", "workload: triangular | increasing | decreasing | step | burst | sinusoid | constant")
+		wlFile   = flag.String("workload-file", "", "replay a recorded trace: one tracks-per-period integer per line ('#' comments allowed); overrides -pattern")
+		min      = flag.Int("min", 500, "minimum workload (tracks per period)")
+		max      = flag.Int("max", 12000, "maximum workload (tracks per period)")
+		periods  = flag.Int("periods", 120, "number of periods to simulate")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		traceOut = flag.String("trace", "", "write the per-period trace CSV to this file")
+		events   = flag.Bool("events", false, "print every adaptation event")
+		jsonOut  = flag.String("json", "", "write the full run as JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	alg := core.Algorithm(*algFlag)
+	if !core.ValidAlgorithm(alg) {
+		fatal(fmt.Errorf("unknown algorithm %q (predictive | non-predictive | greedy | static-max)", *algFlag))
+	}
+	var p workload.Pattern
+	var err error
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			fatal(err)
+		}
+		values, perr := workload.ParseSeries(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+		p = workload.NewCustom(*wlFile, values)
+	} else {
+		p, err = buildPattern(*pattern, *min, *max, *periods)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	setup, err := experiment.BenchmarkSetup(p)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+	if err != nil {
+		fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("algorithm        %s\n", alg)
+	fmt.Printf("pattern          %s over %d periods\n", p.Name(), p.Periods())
+	fmt.Printf("completed        %d/%d instances\n", m.Completed, m.Periods)
+	fmt.Printf("missed deadlines %d (%.2f%%)\n", m.Missed, m.MissedPct())
+	fmt.Printf("mean CPU util    %.2f%%\n", m.CPUUtilPct())
+	fmt.Printf("mean net util    %.2f%%\n", m.NetUtilPct())
+	fmt.Printf("mean replicas    %.2f of %g (%.1f%% use)\n", m.MeanReplicas, m.MaxReplicas, m.ReplicaUsePct())
+	fmt.Printf("adaptations      %d replications, %d shutdowns, %d allocation failures\n",
+		m.Replications, m.Shutdowns, m.AllocFailures)
+	fmt.Printf("combined metric  C = %.2f\n", m.Combined())
+
+	if len(res.Records) > 0 {
+		lat := make([]float64, len(res.Records))
+		for i, r := range res.Records {
+			lat[i] = r.EndToEnd().Milliseconds()
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("latency (ms)     p50=%.1f p95=%.1f max=%.1f (deadline %v)\n",
+			s.P50, s.P95, s.Max, dynbench.Deadline)
+	}
+
+	if *events {
+		fmt.Println("\nadaptation events:")
+		for _, e := range res.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := export.WriteJSON(out, export.FromResult(res, true, true)); err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("\nJSON written to %s\n", *jsonOut)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		log := trace.NewLog()
+		for _, r := range res.Records {
+			log.Record(r)
+		}
+		if err := log.WriteRecordsCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (%d rows)\n", *traceOut, len(res.Records))
+	}
+}
+
+func buildPattern(name string, min, max, periods int) (workload.Pattern, error) {
+	switch name {
+	case "triangular":
+		return workload.NewTriangular(min, max, periods, 2), nil
+	case "increasing":
+		return workload.NewIncreasingRamp(min, max, periods), nil
+	case "decreasing":
+		return workload.NewDecreasingRamp(min, max, periods), nil
+	case "step":
+		return workload.NewStep(min, max, periods, periods/2), nil
+	case "burst":
+		return workload.NewBurst(min, max, periods, 20, 5), nil
+	case "sinusoid":
+		return workload.NewSinusoid(min, max, periods, 3), nil
+	case "constant":
+		return workload.NewConstant(max, periods), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Quickstart: build the paper's Table 1 system, run the predictive
+// resource manager against a workload step, and print what it did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A step workload: 500 tracks per period, jumping to 8 000 at period
+	// 10 — the kind of abrupt change run-time monitoring exists for.
+	pattern := workload.NewStep(500, 8000, 30, 10)
+
+	// BenchmarkSetup profiles the benchmark pipeline (once per process)
+	// and binds the fitted eq. (3)/(5) regression models to the task.
+	setup, err := experiment.BenchmarkSetup(pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.Run(core.DefaultConfig(), core.Predictive, []core.TaskSetup{setup})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Println("predictive adaptive resource management — workload step 500 → 8000 tracks")
+	fmt.Printf("  instances completed: %d/%d, missed deadlines: %d (%.1f%%)\n",
+		m.Completed, m.Periods, m.Missed, m.MissedPct())
+	fmt.Printf("  mean CPU %.1f%%, mean network %.1f%%, mean replicas %.2f\n",
+		m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas)
+	fmt.Printf("  combined performance metric C = %.1f\n\n", m.Combined())
+
+	fmt.Println("adaptation timeline:")
+	for _, e := range res.Events {
+		fmt.Println("  ", e)
+	}
+	fmt.Println("\nper-period latency around the step:")
+	for _, r := range res.Records {
+		if r.Period >= 8 && r.Period <= 14 {
+			fmt.Printf("   %v\n", r)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Survivability: the motivation the paper opens with — "continued
+// availability of application functionality" — exercised directly. A node
+// crash takes out the Filter subtask's host mid-run; the resource manager
+// detects the loss at the next monitoring cycle and relocates (or simply
+// re-balances) the stream onto surviving nodes.
+//
+//	go run ./examples/survivability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A steady 6 000-track workload; node 2 (the Filter home) crashes at
+	// t = 20.3 s, mid-pipeline, and recovers 30 s later.
+	setup, err := experiment.BenchmarkSetup(workload.NewConstant(6000, 70))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Faults = []core.Fault{{Node: 2, At: 20300 * sim.Millisecond, Duration: 30 * sim.Second}}
+
+	res, err := core.Run(cfg, core.Predictive, []core.TaskSetup{setup})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Println("node 2 (Filter host) crashes at t=20.3s, recovers at t=50.3s")
+	fmt.Printf("  instances: %d released, %d completed, %d lost with the node\n",
+		m.Periods, m.Completed, m.Periods-m.Completed)
+	fmt.Printf("  missed-deadline ratio (lost count as missed): %.1f%%\n\n", m.MissedPct())
+
+	fmt.Println("fail-over timeline:")
+	for _, e := range res.Events {
+		switch e.Kind {
+		case trace.ActionNodeDown, trace.ActionNodeUp, trace.ActionFailover:
+			fmt.Printf("  t=%-9v %-10s stage=%d procs=%v\n", e.At, e.Kind, e.Stage, e.Procs)
+		}
+	}
+
+	fmt.Println("\nper-period completion around the crash:")
+	completedBy := map[int]bool{}
+	for _, r := range res.Records {
+		completedBy[r.Period] = true
+	}
+	for c := 18; c <= 24; c++ {
+		status := "completed"
+		if !completedBy[c] {
+			status = "LOST (work died with the node)"
+		}
+		fmt.Printf("  period %d: %s\n", c, status)
+	}
+	fmt.Println("\nReplication exists for exactly this: with more than one replica the")
+	fmt.Println("surviving processes absorb the stream and only the in-flight instance")
+	fmt.Println("is lost; with a single process the manager relocates it in one cycle.")
+}

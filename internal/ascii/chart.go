@@ -1,0 +1,184 @@
+// Package ascii renders simple multi-series line charts as text, so the
+// experiment harness can draw the paper's figures — not only tabulate
+// them — in a terminal and in the committed results files.
+package ascii
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Points []float64 // y value per x index; NaN skips a column
+}
+
+// Chart is a multi-series plot over a shared integer x axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XValues labels the x axis; when nil, indices are used.
+	XValues []int
+	Series  []Series
+	// Height is the plot's row count (default 16).
+	Height int
+	// Width caps the plot's column count; series longer than Width are
+	// downsampled by striding (default: natural length).
+	Width int
+}
+
+// seriesMarks assigns one glyph per series, with '#' reserved for
+// collisions.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '~', '^'}
+
+// Render draws the chart.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("ascii: chart %q has no series", c.Title)
+	}
+	n := 0
+	for _, s := range c.Series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("ascii: chart %q has empty series", c.Title)
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+
+	// Determine the y range across all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Points {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("ascii: chart %q has no numeric points", c.Title)
+	}
+	if hi == lo {
+		hi = lo + 1 // flat series still needs a band
+	}
+
+	// Optional horizontal downsampling.
+	stride := 1
+	if c.Width > 0 && n > c.Width {
+		stride = (n + c.Width - 1) / c.Width
+	}
+	cols := (n + stride - 1) / stride
+
+	// Paint the grid.
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for x := 0; x < cols; x++ {
+			idx := x * stride
+			if idx >= len(s.Points) {
+				continue
+			}
+			v := s.Points[idx]
+			if math.IsNaN(v) {
+				continue
+			}
+			r := rowOf(v)
+			cell := grid[r][x]
+			if cell != ' ' && cell != mark {
+				grid[r][x] = '#'
+			} else {
+				grid[r][x] = mark
+			}
+		}
+	}
+
+	// Emit: title, legend, plot with y scale, x axis.
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "  [%s]  ('#' = overlap)\n", strings.Join(legend, "   ")); err != nil {
+		return err
+	}
+	yfmt := func(v float64) string { return fmt.Sprintf("%8.4g", v) }
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 8)
+		switch r {
+		case 0:
+			label = yfmt(hi)
+		case height - 1:
+			label = yfmt(lo)
+		case (height - 1) / 2:
+			label = yfmt((hi + lo) / 2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", cols)); err != nil {
+		return err
+	}
+	// X-axis end labels.
+	xlo, xhi := 0, n-1
+	if c.XValues != nil {
+		if len(c.XValues) > 0 {
+			xlo = c.XValues[0]
+		}
+		if len(c.XValues) >= n {
+			xhi = c.XValues[n-1]
+		}
+	}
+	axis := fmt.Sprintf("%d", xlo)
+	right := fmt.Sprintf("%d", xhi)
+	pad := cols - len(axis) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s", strings.Repeat(" ", 8), axis, strings.Repeat(" ", pad), right); err != nil {
+		return err
+	}
+	if c.XLabel != "" {
+		if _, err := fmt.Fprintf(w, "   (%s)", c.XLabel); err != nil {
+			return err
+		}
+	}
+	if c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "\n%s y: %s", strings.Repeat(" ", 8), c.YLabel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderString is Render into a string, for tests and embedding.
+func (c Chart) RenderString() (string, error) {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,170 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	c := Chart{
+		Title:   "demo",
+		XLabel:  "x",
+		YLabel:  "y",
+		XValues: []int{0, 1, 2, 3, 4},
+		Series: []Series{
+			{Name: "up", Points: []float64{0, 1, 2, 3, 4}},
+			{Name: "down", Points: []float64{4, 3, 2, 1, 0}},
+		},
+		Height: 5,
+	}
+	out, err := c.RenderString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "* up", "o down", "(x)", "y: y", "'#' = overlap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The crossing point (x=2, value 2 for both series) collides → '#'.
+	if !strings.Contains(out, "#") {
+		t.Errorf("no collision glyph at the crossing:\n%s", out)
+	}
+	// Top row carries the max label, bottom the min.
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l)
+		}
+	}
+	if len(plotLines) != 5 {
+		t.Fatalf("plot rows = %d, want 5", len(plotLines))
+	}
+	if !strings.Contains(plotLines[0], "4") {
+		t.Errorf("top row lacks max label: %q", plotLines[0])
+	}
+	if !strings.Contains(plotLines[4], "0") {
+		t.Errorf("bottom row lacks min label: %q", plotLines[4])
+	}
+}
+
+func TestRenderMonotoneSeriesOrientation(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "rise", Points: []float64{0, 10}}},
+		Height: 4,
+	}
+	out, err := c.RenderString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	var first, last int = -1, -1
+	row := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "|") {
+			continue
+		}
+		body := l[strings.Index(l, "|")+1:]
+		if i := strings.IndexByte(body, '*'); i >= 0 {
+			if first == -1 {
+				first = row
+			}
+			last = row
+			_ = i
+		}
+		row++
+	}
+	if first == -1 {
+		t.Fatal("no marks rendered")
+	}
+	// The max (10) should appear above the min (0).
+	if first >= last {
+		t.Errorf("orientation wrong: first mark row %d, last %d", first, last)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (Chart{}).RenderString(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if _, err := (Chart{Series: []Series{{Name: "e"}}}).RenderString(); err == nil {
+		t.Error("empty series accepted")
+	}
+	nan := Chart{Series: []Series{{Name: "n", Points: []float64{math.NaN()}}}}
+	if _, err := nan.RenderString(); err == nil {
+		t.Error("all-NaN series accepted")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "flat", Points: []float64{5, 5, 5}}}, Height: 3}
+	out, err := c.RenderString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("flat series rendered no marks")
+	}
+}
+
+func TestRenderNaNSkipsColumn(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "gap", Points: []float64{1, math.NaN(), 3}}},
+		Height: 3,
+	}
+	out, err := c.RenderString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := strings.Count(out, "*")
+	// One legend mark + two data marks.
+	if marks != 3 {
+		t.Errorf("marks = %d, want 3 (legend + 2 points)", marks)
+	}
+}
+
+func TestRenderDownsampling(t *testing.T) {
+	points := make([]float64, 200)
+	for i := range points {
+		points[i] = float64(i)
+	}
+	c := Chart{Series: []Series{{Name: "long", Points: points}}, Width: 50, Height: 4}
+	out, err := c.RenderString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range strings.Split(out, "\n") {
+		if i := strings.Index(l, "|"); i >= 0 {
+			if body := l[i+1:]; len(body) > 50 {
+				t.Fatalf("plot row wider than Width: %d", len(body))
+			}
+		}
+	}
+}
+
+// Property: rendering never panics and always includes every series name,
+// for arbitrary finite data.
+func TestPropertyRenderTotal(t *testing.T) {
+	f := func(raw []int16, h uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]float64, len(raw))
+		for i, v := range raw {
+			pts[i] = float64(v)
+		}
+		c := Chart{
+			Title:  "p",
+			Series: []Series{{Name: "s1", Points: pts}},
+			Height: int(h%30) + 2,
+		}
+		out, err := c.RenderString()
+		return err == nil && strings.Contains(out, "s1")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package clocksync makes the paper's synchronized-clocks assumption (§3,
+// item 12: "the clocks of the processors are synchronized using an
+// algorithm such as [Mills95]") reproducible rather than axiomatic.
+//
+// Each node owns a Clock with an initial offset and a constant drift rate.
+// A Synchronizer runs a Mills/NTP-style exchange over the simulated shared
+// segment: a client timestamps a request (t1), the server timestamps
+// receipt and reply (t2 = t3), and the client timestamps the response
+// (t4); the offset estimate ((t2−t1)+(t3−t4))/2 is slewed into the client
+// clock with a configurable gain.
+package clocksync
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Clock is a node-local clock with offset and drift relative to true
+// (engine) time.
+type Clock struct {
+	eng      *sim.Engine
+	driftPPM float64
+
+	anchorTrue  sim.Time // engine time of the last adjustment
+	anchorLocal sim.Time // local reading at that instant
+}
+
+// NewClock returns a clock whose reading at the current engine time is
+// engine-now + initialOffset, advancing at (1 + driftPPM·1e−6) the true
+// rate.
+func NewClock(eng *sim.Engine, initialOffset sim.Time, driftPPM float64) *Clock {
+	if math.Abs(driftPPM) > 10_000 {
+		panic(fmt.Sprintf("clocksync: implausible drift %v ppm", driftPPM))
+	}
+	return &Clock{
+		eng:         eng,
+		driftPPM:    driftPPM,
+		anchorTrue:  eng.Now(),
+		anchorLocal: eng.Now() + initialOffset,
+	}
+}
+
+// Now returns the local clock reading.
+func (c *Clock) Now() sim.Time {
+	dt := c.eng.Now() - c.anchorTrue
+	skewed := sim.Time(float64(dt) * (1 + c.driftPPM*1e-6))
+	return c.anchorLocal + skewed
+}
+
+// Adjust slews the clock by delta, effective immediately.
+func (c *Clock) Adjust(delta sim.Time) {
+	now := c.Now()
+	c.anchorTrue = c.eng.Now()
+	c.anchorLocal = now + delta
+}
+
+// Offset returns the clock's current error relative to true time.
+func (c *Clock) Offset() sim.Time { return c.Now() - c.eng.Now() }
+
+// DriftPPM returns the configured drift rate.
+func (c *Clock) DriftPPM() float64 { return c.driftPPM }
+
+// Synchronizer periodically disciplines client clocks against a server
+// clock over a shared segment.
+type Synchronizer struct {
+	eng     *sim.Engine
+	seg     *network.Segment
+	period  sim.Time
+	gain    float64 // fraction of the estimated offset corrected per round
+	payload int64
+
+	serverNode int
+	server     *Clock
+	clients    map[int]*Clock
+
+	rounds  uint64
+	running bool
+}
+
+// NewSynchronizer returns a stopped synchronizer. Gain in (0, 1]; 1 steps
+// the full estimated offset each round.
+func NewSynchronizer(eng *sim.Engine, seg *network.Segment, serverNode int, server *Clock, period sim.Time, gain float64) *Synchronizer {
+	if period <= 0 {
+		panic(fmt.Sprintf("clocksync: non-positive period %v", period))
+	}
+	if gain <= 0 || gain > 1 {
+		panic(fmt.Sprintf("clocksync: gain %v out of (0,1]", gain))
+	}
+	return &Synchronizer{
+		eng:        eng,
+		seg:        seg,
+		period:     period,
+		gain:       gain,
+		payload:    48, // NTP packet size
+		serverNode: serverNode,
+		server:     server,
+		clients:    make(map[int]*Clock),
+	}
+}
+
+// AddClient registers a client clock on the given node.
+func (s *Synchronizer) AddClient(node int, c *Clock) {
+	if node == s.serverNode {
+		panic("clocksync: server node registered as client")
+	}
+	s.clients[node] = c
+}
+
+// Rounds returns the number of completed client exchanges.
+func (s *Synchronizer) Rounds() uint64 { return s.rounds }
+
+// Start begins periodic exchanges; it is a no-op if already running.
+func (s *Synchronizer) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.tick()
+}
+
+// Stop halts future exchanges; in-flight ones complete.
+func (s *Synchronizer) Stop() { s.running = false }
+
+func (s *Synchronizer) tick() {
+	if !s.running {
+		return
+	}
+	for node, clock := range s.clients {
+		s.exchange(node, clock)
+	}
+	s.eng.After(s.period, func() { s.tick() })
+}
+
+func (s *Synchronizer) exchange(node int, clock *Clock) {
+	t1 := clock.Now()
+	req := &network.Message{From: node, To: s.serverNode, PayloadBytes: s.payload}
+	req.OnDeliver = func(*network.Message) {
+		t2 := s.server.Now()
+		t3 := t2 // zero server hold time
+		resp := &network.Message{From: s.serverNode, To: node, PayloadBytes: s.payload}
+		resp.OnDeliver = func(*network.Message) {
+			t4 := clock.Now()
+			est := ((t2 - t1) + (t3 - t4)) / 2
+			clock.Adjust(sim.Time(s.gain * float64(est)))
+			s.rounds++
+		}
+		s.seg.Send(resp)
+	}
+	s.seg.Send(req)
+}
+
+// MaxAbsOffset returns the largest |client − server| clock difference.
+func (s *Synchronizer) MaxAbsOffset() sim.Time {
+	ref := s.server.Now()
+	var worst sim.Time
+	for _, c := range s.clients {
+		d := c.Now() - ref
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,139 @@
+package clocksync
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func TestClockOffsetAndDrift(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewClock(eng, 5*sim.Millisecond, 100) // +100 ppm fast
+	if c.Offset() != 5*sim.Millisecond {
+		t.Fatalf("initial offset = %v", c.Offset())
+	}
+	eng.RunUntil(10 * sim.Second)
+	// After 10s at +100ppm the clock gained an extra 1ms.
+	want := 5*sim.Millisecond + sim.Time(float64(10*sim.Second)*100e-6)
+	if got := c.Offset(); got != want {
+		t.Errorf("offset after 10s = %v, want %v", got, want)
+	}
+	if c.DriftPPM() != 100 {
+		t.Errorf("DriftPPM = %v", c.DriftPPM())
+	}
+}
+
+func TestClockAdjust(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewClock(eng, 10*sim.Millisecond, 0)
+	c.Adjust(-10 * sim.Millisecond)
+	if c.Offset() != 0 {
+		t.Errorf("offset after correction = %v, want 0", c.Offset())
+	}
+}
+
+func TestClockImplausibleDriftPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("huge drift did not panic")
+		}
+	}()
+	NewClock(sim.NewEngine(), 0, 1e6)
+}
+
+func newSyncFixture(offsets map[int]sim.Time, drift map[int]float64) (*sim.Engine, *Synchronizer) {
+	eng := sim.NewEngine()
+	seg := network.NewSegment(eng, network.DefaultConfig())
+	server := NewClock(eng, 0, 0)
+	sync := NewSynchronizer(eng, seg, 0, server, 250*sim.Millisecond, 0.5)
+	for node, off := range offsets {
+		sync.AddClient(node, NewClock(eng, off, drift[node]))
+	}
+	return eng, sync
+}
+
+func TestSynchronizerConverges(t *testing.T) {
+	eng, sync := newSyncFixture(
+		map[int]sim.Time{1: 20 * sim.Millisecond, 2: -15 * sim.Millisecond, 3: 3 * sim.Millisecond},
+		map[int]float64{1: 50, 2: -80, 3: 10},
+	)
+	sync.Start()
+	eng.RunUntil(20 * sim.Second)
+	if got := sync.MaxAbsOffset(); got > 300*sim.Microsecond {
+		t.Errorf("max offset after sync = %v, want ≤ 300µs", got)
+	}
+	if sync.Rounds() == 0 {
+		t.Error("no exchanges completed")
+	}
+}
+
+func TestSynchronizerStop(t *testing.T) {
+	eng, sync := newSyncFixture(map[int]sim.Time{1: sim.Millisecond}, nil)
+	sync.Start()
+	eng.RunUntil(sim.Second)
+	sync.Stop()
+	r := sync.Rounds()
+	eng.RunUntil(5 * sim.Second)
+	// An exchange launched by the tick at exactly 1s may still complete.
+	if sync.Rounds() > r+1 {
+		t.Errorf("rounds kept advancing after Stop: %d → %d", r, sync.Rounds())
+	}
+}
+
+func TestSynchronizerValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	seg := network.NewSegment(eng, network.DefaultConfig())
+	server := NewClock(eng, 0, 0)
+	for name, build := range map[string]func(){
+		"period": func() { NewSynchronizer(eng, seg, 0, server, 0, 0.5) },
+		"gain":   func() { NewSynchronizer(eng, seg, 0, server, sim.Second, 0) },
+		"client": func() {
+			NewSynchronizer(eng, seg, 0, server, sim.Second, 0.5).AddClient(0, server)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s validation missing", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	eng, sync := newSyncFixture(map[int]sim.Time{1: sim.Millisecond}, nil)
+	sync.Start()
+	sync.Start()
+	eng.RunUntil(sim.Second + 10*sim.Millisecond)
+	// 250ms period over ~1s → 5 tick rounds (t=0,250,…,1000); doubling
+	// the chain would double this.
+	if got := sync.Rounds(); got > 5 {
+		t.Errorf("rounds = %d after double Start, want ≤ 5", got)
+	}
+}
+
+// Property: from any bounded initial offset and drift, the synchronized
+// offset after 30 virtual seconds is far smaller than the initial offset.
+func TestPropertyConvergence(t *testing.T) {
+	f := func(off int16, driftRaw int8) bool {
+		initial := sim.Time(off) * sim.Microsecond * 100 // up to ±3.3s
+		drift := float64(driftRaw)                       // ±127 ppm
+		eng := sim.NewEngine()
+		seg := network.NewSegment(eng, network.DefaultConfig())
+		server := NewClock(eng, 0, 0)
+		sync := NewSynchronizer(eng, seg, 0, server, 250*sim.Millisecond, 0.5)
+		sync.AddClient(1, NewClock(eng, initial, drift))
+		sync.Start()
+		eng.RunUntil(30 * sim.Second)
+		final := sync.MaxAbsOffset()
+		// Converged to sub-millisecond regardless of start.
+		return final < sim.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func clockCfg() Config {
+	cfg := DefaultConfig()
+	cfg.ClockSync = true
+	return cfg
+}
+
+func TestClockSyncRunCompletes(t *testing.T) {
+	res, err := Run(clockCfg(), Predictive,
+		[]TaskSetup{benchSetup(workload.NewTriangular(500, 8000, 40, 1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Completed != 40 {
+		t.Fatalf("completed %d of 40 under clock sync", res.Metrics.Completed)
+	}
+	// The synchronizer must have disciplined the ±5ms initial offsets to
+	// well under a millisecond by the end of the run.
+	if res.MaxClockOffset <= 0 {
+		t.Fatal("no residual clock offset reported")
+	}
+	if res.MaxClockOffset > sim.Millisecond {
+		t.Errorf("residual clock offset %v, want < 1ms", res.MaxClockOffset)
+	}
+}
+
+func TestClockSyncOffByDefault(t *testing.T) {
+	res, err := Run(DefaultConfig(), Predictive,
+		[]TaskSetup{benchSetup(workload.NewConstant(500, 3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxClockOffset != 0 {
+		t.Errorf("clock offset %v reported with sync disabled", res.MaxClockOffset)
+	}
+}
+
+func TestClockSyncMetricsComparable(t *testing.T) {
+	// Clock error perturbs only monitoring observations (sub-millisecond
+	// against deadlines of hundreds of milliseconds), so the adaptive
+	// outcome must stay close to the perfect-clock run.
+	pattern := workload.NewTriangular(500, 10000, 60, 1)
+	perfect, err := Run(DefaultConfig(), Predictive, []TaskSetup{benchSetup(pattern)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Run(clockCfg(), Predictive, []TaskSetup{benchSetup(pattern)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, ds := perfect.Metrics.Combined(), skewed.Metrics.Combined()
+	if diff := dp - ds; diff > 10 || diff < -10 {
+		t.Errorf("clock sync changed combined metric %v → %v", dp, ds)
+	}
+}
+
+func TestClockSyncValidation(t *testing.T) {
+	cfg := clockCfg()
+	cfg.ClockSyncPeriod = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero sync period accepted")
+	}
+	cfg = clockCfg()
+	cfg.ClockDriftPPM = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative drift bound accepted")
+	}
+}

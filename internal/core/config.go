@@ -1,0 +1,197 @@
+// Package core is the paper's adaptive resource-management system
+// assembled end to end: it builds the Table 1 cluster (six homogeneous
+// nodes with round-robin CPU scheduling on a shared 100 Mbit/s Ethernet
+// segment), deploys periodic pipeline tasks on it, drives them with a
+// workload pattern, monitors subtask slack against EQF deadlines, and
+// adapts replica placement each period with either the predictive
+// (Figure 5) or the non-predictive (Figure 7) allocator.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/monitor"
+	"repro/internal/network"
+	"repro/internal/regress"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// Algorithm selects the step-2 allocator.
+type Algorithm string
+
+// The two algorithms compared in §5, plus two extension baselines.
+const (
+	// Predictive is the paper's contribution (Figure 5).
+	Predictive Algorithm = "predictive"
+	// NonPredictive is the paper's baseline (Figure 7).
+	NonPredictive Algorithm = "non-predictive"
+	// Greedy adds one replica per trigger with no forecast (extension).
+	Greedy Algorithm = "greedy"
+	// StaticMax replicates everything everywhere up front and never
+	// adapts (extension; the maximum-concurrency bound).
+	StaticMax Algorithm = "static-max"
+)
+
+// ValidAlgorithm reports whether a is a known allocator name.
+func ValidAlgorithm(a Algorithm) bool {
+	switch a {
+	case Predictive, NonPredictive, Greedy, StaticMax:
+		return true
+	}
+	return false
+}
+
+// Config holds the system parameters; DefaultConfig reproduces Table 1.
+type Config struct {
+	// NumNodes is the processor count (Table 1: 6).
+	NumNodes int
+	// Slice is the round-robin quantum (Table 1: 1 ms).
+	Slice sim.Time
+	// Discipline selects the CPU scheduling policy; Table 1 fixes
+	// round-robin, FIFO and processor sharing are ablation alternatives.
+	Discipline cpu.Discipline
+	// Network configures the shared segment (Table 1: 100 Mbit/s).
+	Network network.Config
+	// Monitor holds the slack thresholds (paper: sl = 0.2·dl).
+	Monitor monitor.Config
+	// UtilThreshold is the non-predictive algorithm's UT (Table 1: 20 %).
+	UtilThreshold float64
+	// WarmupDemand is the one-time CPU cost charged to a freshly spawned
+	// replica on its first period (process start-up).
+	WarmupDemand sim.Time
+	// OverlapFraction is the halo of the data stream each replica
+	// receives beyond its share when a stage is partitioned, keeping the
+	// continuous track objects temporally consistent across the split
+	// (§3 item 7). It is what makes over-replication cost network
+	// bandwidth.
+	OverlapFraction float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+
+	// ClockSync, when enabled, gives every node a drifting local clock,
+	// disciplines the clocks with a Mills-style synchronizer over the
+	// shared segment (§3 item 12 made operational: the NTP traffic rides
+	// the same wire), and timestamps the monitor's stage observations
+	// with the node-local clocks instead of true simulation time.
+	ClockSync bool
+	// ClockDriftPPM bounds each node's random drift rate (± this value).
+	ClockDriftPPM float64
+	// ClockInitialOffset bounds each node's random initial offset.
+	ClockInitialOffset sim.Time
+	// ClockSyncPeriod is the synchronizer's exchange period.
+	ClockSyncPeriod sim.Time
+
+	// Faults injects node crashes: survivability through replication is
+	// the motivation the paper opens with, and fail-over exercises the
+	// same allocation machinery as workload adaptation.
+	Faults []Fault
+}
+
+// Fault is one injected node crash. Duration 0 means the node never
+// recovers.
+type Fault struct {
+	Node     int
+	At       sim.Time
+	Duration sim.Time
+}
+
+// DefaultConfig returns the Table 1 baseline.
+func DefaultConfig() Config {
+	return Config{
+		NumNodes:        6,
+		Slice:           sim.Millisecond,
+		Network:         network.DefaultConfig(),
+		Monitor:         monitor.DefaultConfig(),
+		UtilThreshold:   0.2,
+		WarmupDemand:    25 * sim.Millisecond,
+		OverlapFraction: 0.10,
+		Seed:            1,
+
+		ClockSync:          false,
+		ClockDriftPPM:      50,
+		ClockInitialOffset: 5 * sim.Millisecond,
+		ClockSyncPeriod:    250 * sim.Millisecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumNodes < 1 {
+		return fmt.Errorf("core: need ≥1 node, got %d", c.NumNodes)
+	}
+	if c.Slice <= 0 {
+		return fmt.Errorf("core: non-positive slice %v", c.Slice)
+	}
+	if c.UtilThreshold <= 0 || c.UtilThreshold > 1 {
+		return fmt.Errorf("core: utilization threshold %v out of (0,1]", c.UtilThreshold)
+	}
+	if c.WarmupDemand < 0 {
+		return fmt.Errorf("core: negative warm-up demand %v", c.WarmupDemand)
+	}
+	if c.OverlapFraction < 0 || c.OverlapFraction >= 1 {
+		return fmt.Errorf("core: overlap fraction %v out of [0,1)", c.OverlapFraction)
+	}
+	if c.ClockSync {
+		if c.ClockDriftPPM < 0 || c.ClockInitialOffset < 0 {
+			return fmt.Errorf("core: negative clock drift/offset bounds")
+		}
+		if c.ClockSyncPeriod <= 0 {
+			return fmt.Errorf("core: non-positive clock sync period %v", c.ClockSyncPeriod)
+		}
+	}
+	for i, f := range c.Faults {
+		if f.Node < 0 || f.Node >= c.NumNodes {
+			return fmt.Errorf("core: fault %d targets node %d outside [0,%d)", i, f.Node, c.NumNodes)
+		}
+		if f.At < 0 || f.Duration < 0 {
+			return fmt.Errorf("core: fault %d with negative time", i)
+		}
+	}
+	return nil
+}
+
+// TaskSetup binds one periodic task to its workload pattern and fitted
+// regression models (the models serve both the predictive allocator and
+// EQF deadline estimation, which both algorithms share per §4.1).
+type TaskSetup struct {
+	Spec    task.Spec
+	Pattern workload.Pattern
+	// Homes optionally places subtask i's original process; when nil,
+	// subtask i goes to node i mod NumNodes.
+	Homes []int
+	// Exec holds one fitted eq. (3) model per subtask.
+	Exec []regress.ExecModel
+	// Comm is the fitted eq. (4)–(6) model.
+	Comm regress.CommModel
+}
+
+func (ts TaskSetup) validate(numNodes int) error {
+	if err := ts.Spec.Validate(); err != nil {
+		return err
+	}
+	if ts.Pattern == nil {
+		return fmt.Errorf("core: task %s without a workload pattern", ts.Spec.Name)
+	}
+	if len(ts.Exec) != len(ts.Spec.Subtasks) {
+		return fmt.Errorf("core: task %s has %d exec models for %d subtasks",
+			ts.Spec.Name, len(ts.Exec), len(ts.Spec.Subtasks))
+	}
+	if err := ts.Comm.Validate(); err != nil {
+		return err
+	}
+	if ts.Homes != nil {
+		if len(ts.Homes) != len(ts.Spec.Subtasks) {
+			return fmt.Errorf("core: task %s has %d homes for %d subtasks",
+				ts.Spec.Name, len(ts.Homes), len(ts.Spec.Subtasks))
+		}
+		for _, h := range ts.Homes {
+			if h < 0 || h >= numNodes {
+				return fmt.Errorf("core: task %s home %d outside [0,%d)", ts.Spec.Name, h, numNodes)
+			}
+		}
+	}
+	return nil
+}

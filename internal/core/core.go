@@ -1,0 +1,21 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Metrics aggregates the §5.2 evaluation quantities.
+	Metrics metrics.RunMetrics
+	// Records holds every completed period record, in completion order.
+	Records []*task.PeriodRecord
+	// Events holds every adaptation action taken.
+	Events []trace.AdaptationEvent
+	// MaxClockOffset is the largest client-vs-server clock error at the
+	// end of the run; zero unless Config.ClockSync is enabled.
+	MaxClockOffset sim.Time
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// instance is one in-flight period of a task. Replica placement is frozen
+// at launch; adaptation between periods changes only future instances.
+type instance struct {
+	rt  *runtimeTask
+	rec *task.PeriodRecord
+
+	placements [][]int // per stage
+	shares     [][]int // per stage, input items per replica (without halo)
+	halo       []int   // per stage, halo items each replica receives on top
+
+	pendingJobs []int   // outstanding CPU jobs per stage
+	pendingMsgs [][]int // per stage, per replica, inputs still in flight
+	readyCount  []int   // replicas of the stage whose inputs are complete
+}
+
+// launch releases one period's instance into the system.
+func (s *system) launch(rt *runtimeTask, c, items int) {
+	spec := rt.setup.Spec
+	n := len(spec.Subtasks)
+	now := s.eng.Now()
+	inst := &instance{
+		rt: rt,
+		rec: &task.PeriodRecord{
+			Period:     c,
+			Items:      items,
+			ReleasedAt: now,
+			Deadline:   now + spec.Deadline,
+			Stages:     make([]task.StageObservation, n),
+		},
+		placements:  make([][]int, n),
+		shares:      make([][]int, n),
+		halo:        make([]int, n),
+		pendingJobs: make([]int, n),
+		pendingMsgs: make([][]int, n),
+		readyCount:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		inst.placements[i] = rt.dep.Replicas(i)
+		k := len(inst.placements[i])
+		inst.shares[i] = task.SplitItems(items, k)
+		if k > 1 {
+			inst.halo[i] = int(s.cfg.OverlapFraction * float64(items))
+		}
+		inst.pendingJobs[i] = k
+		inst.pendingMsgs[i] = make([]int, k)
+		if i > 0 {
+			kPrev := len(inst.placements[i-1])
+			for j := range inst.pendingMsgs[i] {
+				inst.pendingMsgs[i][j] = kPrev
+			}
+		}
+		inst.rec.Stages[i].Replicas = k
+	}
+	rt.inFlight++
+
+	// Stage 0's inputs (the sensor reports) are available at release.
+	inst.rec.Stages[0].ReadyAt = s.nodeNow(inst.placements[0][0])
+	for idx := range inst.placements[0] {
+		s.submitReplicaJob(inst, 0, idx)
+	}
+}
+
+// replicaInputItems is the data volume a replica actually processes: its
+// share plus the halo of neighbouring tracks it needs for continuity.
+func (inst *instance) replicaInputItems(stage, idx int) int {
+	return inst.shares[stage][idx] + inst.halo[stage]
+}
+
+// submitReplicaJob runs one replica's CPU work for the stage.
+func (s *system) submitReplicaJob(inst *instance, stage, idx int) {
+	proc := inst.placements[stage][idx]
+	spec := inst.rt.setup.Spec
+	demand := spec.Subtasks[stage].Demand(inst.replicaInputItems(stage, idx), s.rng)
+	if inst.rt.dep.ConsumeWarmup(stage, proc) {
+		demand += s.cfg.WarmupDemand
+	}
+	s.procs[proc].Submit(&cpu.Job{
+		Name:   fmt.Sprintf("%s/%s#%d.%d", spec.Name, spec.Subtasks[stage].Name, inst.rec.Period, idx),
+		Demand: demand,
+		OnComplete: func(at sim.Time) {
+			// Attribute the CPU time to this task so utilization
+			// sampling can separate own work from background.
+			inst.rt.ownBusy[proc] += demand
+			s.replicaDone(inst, stage, idx, at)
+		},
+	})
+}
+
+// replicaDone handles one replica's completion: forward its output to
+// every replica of the next stage, or complete the instance.
+func (s *system) replicaDone(inst *instance, stage, idx int, at sim.Time) {
+	inst.pendingJobs[stage]--
+	if inst.pendingJobs[stage] == 0 {
+		// Observations are timestamped with the completing node's local
+		// clock — the "global time scale" of Figure 1 is only as good as
+		// the clock synchronization that provides it.
+		inst.rec.Stages[stage].DoneAt = s.nodeNow(inst.placements[stage][idx])
+	}
+	spec := inst.rt.setup.Spec
+	if stage == len(spec.Subtasks)-1 {
+		if inst.pendingJobs[stage] == 0 {
+			inst.rec.Stages[stage].DeliveredAt = inst.rec.Stages[stage].DoneAt
+			s.complete(inst)
+		}
+		return
+	}
+	next := inst.placements[stage+1]
+	srcProc := inst.placements[stage][idx]
+	perDest := task.SplitItems(inst.shares[stage][idx], len(next))
+	haloPerMsg := task.SplitItems(inst.halo[stage+1], len(inst.placements[stage]))
+	bytesPerItem := spec.Subtasks[stage].OutBytesPerItem
+	for j, destProc := range next {
+		j, destProc := j, destProc
+		payloadItems := perDest[j] + haloPerMsg[idx]
+		s.seg.Send(&network.Message{
+			From:         srcProc,
+			To:           destProc,
+			PayloadBytes: int64(payloadItems * bytesPerItem),
+			OnDeliver: func(m *network.Message) {
+				s.msgArrived(inst, stage+1, j, m.DeliveredAt)
+			},
+		})
+	}
+}
+
+// msgArrived tracks per-replica input completion for a stage.
+func (s *system) msgArrived(inst *instance, stage, destIdx int, at sim.Time) {
+	inst.pendingMsgs[stage][destIdx]--
+	if inst.pendingMsgs[stage][destIdx] > 0 {
+		return
+	}
+	inst.readyCount[stage]++
+	if inst.readyCount[stage] == len(inst.placements[stage]) {
+		// Last replica's inputs complete: the stage is observed ready
+		// and the previous stage's outputs fully delivered, per the
+		// receiving node's clock.
+		local := s.nodeNow(inst.placements[stage][destIdx])
+		inst.rec.Stages[stage].ReadyAt = local
+		inst.rec.Stages[stage-1].DeliveredAt = local
+	}
+	s.submitReplicaJob(inst, stage, destIdx)
+}
+
+// complete finalizes the instance and feeds the monitor.
+func (s *system) complete(inst *instance) {
+	inst.rec.CompletedAt = s.eng.Now()
+	inst.rt.inFlight--
+	s.collector.ObserveCompletion(inst.rec.Missed())
+	s.log.Record(inst.rec)
+	last := inst.rt.lastCompleted
+	if last == nil || inst.rec.Period > last.Period {
+		inst.rt.lastCompleted = inst.rec
+	}
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/clocksync"
+	"repro/internal/cpu"
+	"repro/internal/deadline"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// system wires the substrates together for one run.
+type system struct {
+	cfg       Config
+	alg       Algorithm
+	eng       *sim.Engine
+	procs     []cpu.Scheduler
+	seg       *network.Segment
+	rng       *rand.Rand
+	collector *metrics.Collector
+	log       *trace.Log
+
+	sysMeters []*cpu.Meter
+	netMeter  *network.Meter
+
+	// clocks and sync are populated only when cfg.ClockSync is enabled.
+	clocks []*clocksync.Clock
+	sync   *clocksync.Synchronizer
+
+	// down marks crashed nodes (Config.Faults).
+	down []bool
+
+	tasks []*runtimeTask
+}
+
+// nodeNow returns the node-local clock reading (true time when clock
+// synchronization is disabled).
+func (s *system) nodeNow(proc int) sim.Time {
+	if s.clocks == nil {
+		return s.eng.Now()
+	}
+	return s.clocks[proc].Now()
+}
+
+// runtimeTask is one deployed task with its monitoring state.
+type runtimeTask struct {
+	setup TaskSetup
+	dep   *task.Deployment
+	mon   *monitor.Monitor
+	alloc manager.Allocator
+
+	// utilSnapshot is the per-node utilization from *other* work (total
+	// busy time minus this task's own jobs) over the last monitoring
+	// window. The profiling step measures latency against background
+	// utilization, so this — not the raw node utilization — is the u the
+	// fitted eq. (3) expects, and the quantity Figures 5/7 read as
+	// ut(p,t).
+	utilSnapshot []float64
+	// rawSnapshot is the total per-node utilization over the same window
+	// — what Figure 7's threshold and the least-utilized pick read.
+	rawSnapshot []float64
+	ownBusy     []sim.Time // cumulative CPU time of this task's jobs, per node
+	lastOwn     []sim.Time
+	lastBusy    []sim.Time
+	lastAt      sim.Time
+
+	lastCompleted *task.PeriodRecord
+	inFlight      int
+}
+
+// sampleUtil refreshes utilSnapshot for a new monitoring window.
+func (rt *runtimeTask) sampleUtil(s *system) {
+	now := s.eng.Now()
+	dt := now - rt.lastAt
+	for i, p := range s.procs {
+		busy := p.BusyTime()
+		if dt > 0 {
+			other := (busy - rt.lastBusy[i]) - (rt.ownBusy[i] - rt.lastOwn[i])
+			rt.utilSnapshot[i] = clamp01(float64(other) / float64(dt))
+			rt.rawSnapshot[i] = clamp01(float64(busy-rt.lastBusy[i]) / float64(dt))
+		} else {
+			rt.utilSnapshot[i] = 0
+			rt.rawSnapshot[i] = 0
+		}
+		rt.lastBusy[i] = busy
+		rt.lastOwn[i] = rt.ownBusy[i]
+	}
+	rt.lastAt = now
+}
+
+// Run simulates the task set under the given algorithm for the full
+// workload pattern of every task and returns the aggregated result.
+func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !ValidAlgorithm(alg) {
+		return Result{}, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	if len(setups) == 0 {
+		return Result{}, fmt.Errorf("core: no tasks to run")
+	}
+	s := &system{
+		cfg:       cfg,
+		alg:       alg,
+		eng:       sim.NewEngine(),
+		seg:       nil,
+		rng:       sim.NewRand(cfg.Seed, 0x5eed),
+		collector: metrics.NewCollector(float64(cfg.NumNodes)),
+		log:       trace.NewLog(),
+	}
+	s.seg = network.NewSegment(s.eng, cfg.Network)
+	for i := 0; i < cfg.NumNodes; i++ {
+		s.procs = append(s.procs, cpu.NewScheduler(s.eng, i, cfg.Slice, cfg.Discipline))
+		s.sysMeters = append(s.sysMeters, cpu.NewMeter(s.eng, s.procs[i]))
+	}
+	s.netMeter = network.NewMeter(s.seg)
+
+	s.down = make([]bool, cfg.NumNodes)
+	if cfg.ClockSync {
+		s.setupClocks()
+	}
+	for _, f := range cfg.Faults {
+		f := f
+		s.eng.Schedule(f.At, func() { s.failNode(f.Node) })
+		if f.Duration > 0 {
+			s.eng.Schedule(f.At+f.Duration, func() { s.recoverNode(f.Node) })
+		}
+	}
+
+	for _, setup := range setups {
+		rt, err := s.newRuntimeTask(setup)
+		if err != nil {
+			return Result{}, err
+		}
+		s.tasks = append(s.tasks, rt)
+	}
+
+	// Pre-schedule every period start.
+	for _, rt := range s.tasks {
+		rt := rt
+		for c := 0; c < rt.setup.Pattern.Periods(); c++ {
+			c := c
+			s.eng.Schedule(sim.Time(c)*rt.setup.Spec.Period, func() { s.runPeriod(rt, c) })
+		}
+	}
+	// Stop the synchronizer's tick chain at the end of the last task's
+	// pattern so the engine can drain, and capture the residual clock
+	// error there.
+	var maxOffset sim.Time
+	if s.sync != nil {
+		var end sim.Time
+		for _, rt := range s.tasks {
+			if e := sim.Time(rt.setup.Pattern.Periods()) * rt.setup.Spec.Period; e > end {
+				end = e
+			}
+		}
+		s.eng.Schedule(end, func() {
+			s.sync.Stop()
+			maxOffset = s.sync.MaxAbsOffset()
+		})
+	}
+
+	// Run to quiescence: all instances drain once period starts stop.
+	s.eng.Run()
+
+	res := Result{
+		Metrics:        s.collector.Finish(),
+		Records:        s.log.Records(),
+		Events:         s.log.Events(),
+		MaxClockOffset: maxOffset,
+	}
+	return res, nil
+}
+
+// failNode crashes a node: in-flight and queued work is lost.
+func (s *system) failNode(n int) {
+	if s.down[n] {
+		return
+	}
+	s.down[n] = true
+	s.procs[n].Fail()
+	s.log.Adaptation(trace.AdaptationEvent{
+		At: s.eng.Now(), Period: int(s.eng.Now() / sim.Second), Task: "-",
+		Stage: -1, Kind: trace.ActionNodeDown, Procs: []int{n},
+	})
+}
+
+// recoverNode brings a crashed node back empty.
+func (s *system) recoverNode(n int) {
+	if !s.down[n] {
+		return
+	}
+	s.down[n] = false
+	s.procs[n].Recover()
+	s.log.Adaptation(trace.AdaptationEvent{
+		At: s.eng.Now(), Period: int(s.eng.Now() / sim.Second), Task: "-",
+		Stage: -1, Kind: trace.ActionNodeUp, Procs: []int{n},
+	})
+}
+
+// repairPlacements is the fail-over step run at each monitoring cycle:
+// replicas on crashed nodes are dropped (surviving replicas absorb the
+// stream) and a subtask whose only process died is relocated to the
+// least-utilized live node.
+func (s *system) repairPlacements(rt *runtimeTask, c int) {
+	for stage := range rt.setup.Spec.Subtasks {
+		for _, proc := range rt.dep.Replicas(stage) {
+			if !s.down[proc] {
+				continue
+			}
+			if rt.dep.RemoveProcessor(stage, proc) {
+				s.collector.CountShutdown()
+				s.log.Adaptation(trace.AdaptationEvent{
+					At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
+					Kind: trace.ActionFailover, Procs: []int{proc},
+				})
+				continue
+			}
+			// Sole replica: relocate to the least-utilized live node
+			// that does not already host this stage.
+			best := -1
+			for p := 0; p < s.cfg.NumNodes; p++ {
+				if s.down[p] || rt.dep.Has(stage, p) {
+					continue
+				}
+				if best == -1 || rt.rawSnapshot[p] < rt.rawSnapshot[best] {
+					best = p
+				}
+			}
+			if best == -1 {
+				continue // no live node available; the stage stays dark
+			}
+			if err := rt.dep.ReplaceProcessor(stage, proc, best); err == nil {
+				s.log.Adaptation(trace.AdaptationEvent{
+					At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
+					Kind: trace.ActionFailover, Procs: []int{proc, best},
+				})
+			}
+		}
+	}
+}
+
+// setupClocks builds per-node drifting clocks and the Mills-style
+// synchronizer, with node 0 acting as the reference.
+func (s *system) setupClocks() {
+	rng := sim.NewRand(s.cfg.Seed, 0xc10c)
+	for i := 0; i < s.cfg.NumNodes; i++ {
+		offset := sim.Time(rng.Int64N(2*int64(s.cfg.ClockInitialOffset)+1)) - s.cfg.ClockInitialOffset
+		drift := (2*rng.Float64() - 1) * s.cfg.ClockDriftPPM
+		if i == 0 {
+			offset, drift = 0, 0
+		}
+		s.clocks = append(s.clocks, clocksync.NewClock(s.eng, offset, drift))
+	}
+	s.sync = clocksync.NewSynchronizer(s.eng, s.seg, 0, s.clocks[0], s.cfg.ClockSyncPeriod, 0.5)
+	for i := 1; i < s.cfg.NumNodes; i++ {
+		s.sync.AddClient(i, s.clocks[i])
+	}
+	s.sync.Start()
+}
+
+func (s *system) newRuntimeTask(setup TaskSetup) (*runtimeTask, error) {
+	if err := setup.validate(s.cfg.NumNodes); err != nil {
+		return nil, err
+	}
+	homes := setup.Homes
+	if homes == nil {
+		homes = make([]int, len(setup.Spec.Subtasks))
+		for i := range homes {
+			homes[i] = i % s.cfg.NumNodes
+		}
+	}
+	dep, err := task.NewDeployment(setup.Spec, homes)
+	if err != nil {
+		return nil, err
+	}
+	var alloc manager.Allocator
+	switch s.alg {
+	case Predictive:
+		alloc, err = manager.NewPredictive(setup.Exec, setup.Comm)
+	case NonPredictive:
+		alloc, err = manager.NewNonPredictive(s.cfg.UtilThreshold)
+	case Greedy:
+		alloc = manager.Greedy{}
+	case StaticMax:
+		alloc = manager.Static{}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.alg == StaticMax {
+		// Maximum-concurrency deployment: every replicable subtask on
+		// every node, fixed for the whole run.
+		for stage, st := range setup.Spec.Subtasks {
+			if !st.Replicable {
+				continue
+			}
+			for p := 0; p < s.cfg.NumNodes; p++ {
+				if !dep.Has(stage, p) {
+					if err := dep.AddReplica(stage, p); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	rt := &runtimeTask{
+		setup:        setup,
+		dep:          dep,
+		alloc:        alloc,
+		utilSnapshot: make([]float64, s.cfg.NumNodes),
+		rawSnapshot:  make([]float64, s.cfg.NumNodes),
+		ownBusy:      make([]sim.Time, s.cfg.NumNodes),
+		lastOwn:      make([]sim.Time, s.cfg.NumNodes),
+		lastBusy:     make([]sim.Time, s.cfg.NumNodes),
+	}
+	// Initial EQF assignment from the initial operating conditions
+	// (§4.1: d_init from the first period's workload, u_init = idle).
+	initial, err := s.deriveAssignment(rt, setup.Pattern.Size(0), setup.Pattern.Size(0))
+	if err != nil {
+		return nil, err
+	}
+	rt.mon, err = monitor.New(s.cfg.Monitor, setup.Spec, initial)
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// deriveAssignment re-runs the EQF variant (eqs. 1–2) with the current
+// replica counts, observed utilizations and workload estimates.
+func (rt *runtimeTask) estimateChain(s *system, items, totalItems int) deadline.Chain {
+	n := len(rt.setup.Spec.Subtasks)
+	chain := deadline.Chain{
+		Exec: make([]sim.Time, n),
+		Comm: make([]sim.Time, n),
+	}
+	for i := 0; i < n; i++ {
+		replicas := rt.dep.Replicas(i)
+		k := len(replicas)
+		share := (items + k - 1) / k
+		if k > 1 {
+			// A replica processes its share plus the continuity halo
+			// (Config.OverlapFraction); the estimate must match what the
+			// monitor will observe or the slack band never clears.
+			share += int(s.cfg.OverlapFraction * float64(items))
+		}
+		var u float64
+		for _, p := range replicas {
+			u += rt.utilSnapshot[p]
+		}
+		u /= float64(k)
+		eex := rt.setup.Exec[i].Latency(share, clamp01(u))
+		if eex < 100*sim.Microsecond {
+			eex = 100 * sim.Microsecond
+		}
+		chain.Exec[i] = eex
+		if i < n-1 {
+			kNext := rt.dep.ReplicaCount(i + 1)
+			nextShare := (items + kNext - 1) / kNext
+			chain.Comm[i] = rt.setup.Comm.Delay(float64(nextShare), totalItems)
+		}
+	}
+	return chain
+}
+
+func (s *system) deriveAssignment(rt *runtimeTask, items, totalItems int) (deadline.Assignment, error) {
+	return deadline.AssignEQF(rt.estimateChain(s, items, totalItems), rt.setup.Spec.Deadline)
+}
+
+// totalItems returns Σᵢ ds(Tᵢ, c) as known at adaptation time: every
+// task's workload for its most recently *observed* period (eq. 5's
+// input). Allocation runs before the new period's sensor data arrives, so
+// the freshest available count is one period old — a staleness that only
+// affects the forecast-driven algorithm.
+func (s *system) totalItems() int {
+	now := s.eng.Now()
+	total := 0
+	for _, rt := range s.tasks {
+		idx := int(now/rt.setup.Spec.Period) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		total += rt.setup.Pattern.Size(idx)
+	}
+	return total
+}
+
+// runPeriod fires at each period start: sample, adapt, record, launch.
+func (s *system) runPeriod(rt *runtimeTask, c int) {
+	items := rt.setup.Pattern.Size(c)
+
+	// 1. Sample per-processor other-work utilization over the last
+	// period window.
+	rt.sampleUtil(s)
+
+	// 1b. Fail-over: heal placements that reference crashed nodes.
+	s.repairPlacements(rt, c)
+
+	// 2. Adapt placement based on the most recent completed record. The
+	// workload known to the allocator is the previous period's ds(Ti,c):
+	// the new period's sensor count has not arrived yet.
+	knownItems := items
+	if c > 0 {
+		knownItems = rt.setup.Pattern.Size(c - 1)
+	}
+	s.adapt(rt, c, knownItems)
+
+	// 3. System-level metric samples, anchored to the first task's
+	// periods so multi-task runs don't double-count windows.
+	if rt == s.tasks[0] {
+		var cpuSum float64
+		for _, m := range s.sysMeters {
+			cpuSum += clamp01(m.Sample())
+		}
+		var reps float64
+		for _, t := range s.tasks {
+			reps += t.dep.MeanReplicasOfReplicable()
+		}
+		s.collector.ObservePeriodStart(
+			cpuSum/float64(len(s.sysMeters)),
+			clamp01(s.netMeter.Sample()),
+			reps/float64(len(s.tasks)),
+		)
+	}
+
+	// 4. Launch the instance.
+	s.launch(rt, c, items)
+}
+
+// adapt runs steps 1–2 of the management process for one task.
+func (s *system) adapt(rt *runtimeTask, c, items int) {
+	analysis := rt.mon.Analyze(rt.lastCompleted)
+	if len(analysis.Replicate) == 0 && len(analysis.Shutdown) == 0 {
+		return
+	}
+	env := manager.Environment{
+		Procs:         manager.MaskedProcView{Utils: rt.utilSnapshot, Down: s.down},
+		RawProcs:      manager.MaskedProcView{Utils: rt.rawSnapshot, Down: s.down},
+		Items:         items,
+		TotalItems:    maxInt(s.totalItems(), items),
+		SlackFraction: s.cfg.Monitor.SlackFraction,
+	}
+	// Figure 5 compares the forecast eex + ecd against the subtask
+	// window; per the paper's footnote 3 the incoming message's delay is
+	// incorporated into the successor subtask's deadline, so the window
+	// handed to the allocator is dl(m_{i−1}) + dl(st_i).
+	window := func(stage int) sim.Time {
+		dl := rt.mon.SubtaskDeadline(stage)
+		if stage > 0 {
+			dl += rt.mon.Assignment().Message[stage-1]
+		}
+		return dl
+	}
+	changed := false
+	for _, stage := range analysis.Replicate {
+		env.SubtaskDeadline = window(stage)
+		before := rt.dep.Replicas(stage)
+		added, ok := rt.alloc.Replicate(rt.dep, stage, env)
+		if added > 0 {
+			changed = true
+			s.collector.CountReplications(added)
+			s.log.Adaptation(trace.AdaptationEvent{
+				At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
+				Kind: trace.ActionReplicate, Procs: newProcs(before, rt.dep.Replicas(stage)),
+			})
+		}
+		if !ok {
+			s.collector.CountAllocFailure()
+			s.log.Adaptation(trace.AdaptationEvent{
+				At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
+				Kind: trace.ActionAllocFailure,
+			})
+		}
+	}
+	for _, stage := range analysis.Shutdown {
+		env.SubtaskDeadline = window(stage)
+		if !rt.alloc.ShouldShutdown(rt.dep, stage, env) {
+			continue
+		}
+		if proc, ok := manager.ShutDownAReplica(rt.dep, stage); ok {
+			changed = true
+			s.collector.CountShutdown()
+			s.log.Adaptation(trace.AdaptationEvent{
+				At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
+				Kind: trace.ActionShutdown, Procs: []int{proc},
+			})
+		}
+	}
+	if changed {
+		// §4.1: deadlines are re-assigned after every adaptation action.
+		if a, err := s.deriveAssignment(rt, items, env.TotalItems); err == nil {
+			rt.mon.SetAssignment(a)
+		}
+	}
+}
+
+// newProcs returns the processors present in after but not before.
+func newProcs(before, after []int) []int {
+	seen := make(map[int]bool, len(before))
+	for _, p := range before {
+		seen[p] = true
+	}
+	var out []int
+	for _, p := range after {
+		if !seen[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sim"
+)
+
+// BackgroundLoad drives a processor to a target utilization, as the
+// profiling experiments of §4.2.1.1 require ("the execution latencies of
+// the application subtasks are profiled for a number of resource
+// utilization conditions").
+//
+// It models a self-paced CPU-bound process: it computes for target·q, then
+// sleeps for (1−target)·q, where q is the duty-cycle granularity. When the
+// node is otherwise idle the achieved utilization equals the target
+// exactly; when a foreground job contends under round-robin, the
+// background's compute phases stretch while its sleeps do not, so a
+// foreground job of demand D observes latency ≈ D·(1+u) — a smooth,
+// strictly monotone contention relationship for the regression to fit.
+type BackgroundLoad struct {
+	eng     *sim.Engine
+	proc    Scheduler
+	quantum sim.Time
+	target  float64
+	jitter  float64
+	rng     *rand.Rand
+
+	running  bool
+	produced sim.Time // total demand submitted
+}
+
+// NewBackgroundLoad returns a stopped background load with the given
+// duty-cycle quantum. rng may be nil for a deterministic, jitter-free
+// load.
+func NewBackgroundLoad(eng *sim.Engine, proc Scheduler, quantum sim.Time, rng *rand.Rand) *BackgroundLoad {
+	if quantum <= 0 {
+		panic(fmt.Sprintf("cpu: non-positive background quantum %v", quantum))
+	}
+	return &BackgroundLoad{eng: eng, proc: proc, quantum: quantum, rng: rng}
+}
+
+// SetTarget sets the desired utilization fraction in [0, 0.95].
+func (b *BackgroundLoad) SetTarget(u float64) {
+	if u < 0 || u > 0.95 {
+		panic(fmt.Sprintf("cpu: background target %v out of [0,0.95]", u))
+	}
+	b.target = u
+}
+
+// SetJitter sets multiplicative demand jitter amplitude in [0, 1); it is
+// ignored when the load was built without an rng.
+func (b *BackgroundLoad) SetJitter(amp float64) { b.jitter = amp }
+
+// Target returns the configured utilization fraction.
+func (b *BackgroundLoad) Target() float64 { return b.target }
+
+// Produced returns the total CPU demand submitted so far.
+func (b *BackgroundLoad) Produced() sim.Time { return b.produced }
+
+// Start begins the compute/sleep cycle; it is a no-op if already running.
+func (b *BackgroundLoad) Start() {
+	if b.running {
+		return
+	}
+	b.running = true
+	b.cycle()
+}
+
+// Stop ceases after the in-flight compute chunk, if any.
+func (b *BackgroundLoad) Stop() { b.running = false }
+
+func (b *BackgroundLoad) cycle() {
+	if !b.running {
+		return
+	}
+	if b.target == 0 {
+		// Idle poll: re-check the target each quantum so a later
+		// SetTarget takes effect.
+		b.eng.After(b.quantum, func() { b.cycle() })
+		return
+	}
+	compute := sim.Time(b.target * float64(b.quantum))
+	if b.rng != nil && b.jitter > 0 {
+		compute = sim.JitterTime(b.rng, compute, b.jitter)
+	}
+	sleep := b.quantum - sim.Time(b.target*float64(b.quantum))
+	if compute <= 0 {
+		b.eng.After(b.quantum, func() { b.cycle() })
+		return
+	}
+	b.produced += compute
+	b.proc.Submit(&Job{
+		Name:   "background",
+		Demand: compute,
+		OnComplete: func(sim.Time) {
+			if sleep > 0 {
+				b.eng.After(sleep, func() { b.cycle() })
+			} else {
+				b.cycle()
+			}
+		},
+	})
+}

@@ -1,0 +1,134 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBackgroundLoadAchievesTarget(t *testing.T) {
+	for _, target := range []float64{0.2, 0.4, 0.6, 0.8} {
+		eng := sim.NewEngine()
+		p := NewProcessor(eng, 0, DefaultSlice)
+		bg := NewBackgroundLoad(eng, p, 20*ms, nil)
+		bg.SetTarget(target)
+		bg.Start()
+		eng.RunUntil(10 * sim.Second)
+		got := float64(p.BusyTime()) / float64(10*sim.Second)
+		if math.Abs(got-target) > 0.02 {
+			t.Errorf("target %v: achieved %v", target, got)
+		}
+		bg.Stop()
+	}
+}
+
+func TestBackgroundLoadZeroTargetIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(eng, 0, DefaultSlice)
+	bg := NewBackgroundLoad(eng, p, 20*ms, nil)
+	bg.Start()
+	eng.RunUntil(sim.Second)
+	if p.BusyTime() != 0 {
+		t.Errorf("BusyTime = %v with zero target", p.BusyTime())
+	}
+}
+
+func TestBackgroundLoadStop(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(eng, 0, DefaultSlice)
+	bg := NewBackgroundLoad(eng, p, 20*ms, nil)
+	bg.SetTarget(0.5)
+	bg.Start()
+	eng.RunUntil(sim.Second)
+	bg.Stop()
+	busyAtStop := p.BusyTime()
+	eng.RunUntil(2 * sim.Second)
+	// One in-flight job may still drain, bounded by a single period's
+	// demand.
+	if p.BusyTime()-busyAtStop > 20*ms {
+		t.Errorf("background kept producing after Stop: %v extra", p.BusyTime()-busyAtStop)
+	}
+}
+
+func TestBackgroundLoadBadTargetPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	bg := NewBackgroundLoad(eng, NewProcessor(eng, 0, DefaultSlice), 20*ms, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("target 0.99 did not panic")
+		}
+	}()
+	bg.SetTarget(0.99)
+}
+
+func TestBackgroundLoadBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	eng := sim.NewEngine()
+	NewBackgroundLoad(eng, NewProcessor(eng, 0, DefaultSlice), 0, nil)
+}
+
+func TestBackgroundLoadStartIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(eng, 0, DefaultSlice)
+	bg := NewBackgroundLoad(eng, p, 20*ms, nil)
+	bg.SetTarget(0.3)
+	bg.Start()
+	bg.Start() // must not double the tick chain
+	eng.RunUntil(10 * sim.Second)
+	got := float64(p.BusyTime()) / float64(10*sim.Second)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("achieved %v after double Start, want ≈0.3", got)
+	}
+}
+
+func TestBackgroundLoadJitterStaysCloseToTarget(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProcessor(eng, 0, DefaultSlice)
+	bg := NewBackgroundLoad(eng, p, 20*ms, sim.NewRand(3, 3))
+	bg.SetTarget(0.5)
+	bg.SetJitter(0.3)
+	bg.Start()
+	eng.RunUntil(20 * sim.Second)
+	got := float64(p.BusyTime()) / float64(20*sim.Second)
+	if math.Abs(got-0.5) > 0.05 {
+		t.Errorf("achieved %v with jitter, want ≈0.5", got)
+	}
+}
+
+// Foreground latency must grow monotonically with background utilization —
+// the relationship the paper's profiling step measures and eq. (3) models.
+func TestForegroundSlowdownGrowsWithBackgroundLoad(t *testing.T) {
+	latency := func(target float64) sim.Time {
+		eng := sim.NewEngine()
+		p := NewProcessor(eng, 0, DefaultSlice)
+		bg := NewBackgroundLoad(eng, p, 20*ms, nil)
+		bg.SetTarget(target)
+		bg.Start()
+		var done sim.Time
+		eng.Schedule(sim.Second, func() {
+			p.Submit(&Job{Name: "fg", Demand: 100 * ms, OnComplete: func(at sim.Time) { done = at }})
+		})
+		eng.RunUntil(30 * sim.Second)
+		if done == 0 {
+			t.Fatalf("foreground job did not finish at target %v", target)
+		}
+		return done - sim.Second
+	}
+	prev := sim.Time(0)
+	for _, u := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		l := latency(u)
+		if l <= prev {
+			t.Errorf("latency at u=%v is %v, not greater than %v at lower load", u, l, prev)
+		}
+		prev = l
+	}
+	// Sanity: at zero load the latency equals the raw demand.
+	if l := latency(0); l != 100*ms {
+		t.Errorf("latency at idle = %v, want 100ms", l)
+	}
+}

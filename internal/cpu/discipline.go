@@ -1,0 +1,245 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Discipline selects the CPU scheduling policy. Table 1 fixes round-robin
+// with a 1 ms slice; FIFO and processor sharing are ablation alternatives
+// (PS is the fluid limit of round-robin as the slice shrinks to zero).
+type Discipline int
+
+// Scheduling disciplines.
+const (
+	RoundRobin Discipline = iota
+	FIFO
+	ProcessorSharing
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case RoundRobin:
+		return "round-robin"
+	case FIFO:
+		return "fifo"
+	case ProcessorSharing:
+		return "processor-sharing"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+// Scheduler is the per-processor policy abstraction: Processor implements
+// it for round-robin and FIFO; PSProcessor implements processor sharing.
+type Scheduler interface {
+	ID() int
+	Submit(j *Job)
+	BusyTime() sim.Time
+	QueueLen() int
+	Busy() bool
+	Completed() uint64
+	Fail()
+	Recover()
+	Failed() bool
+	Dropped() uint64
+}
+
+// NewScheduler builds a scheduler of the given discipline. The slice is
+// ignored for FIFO and processor sharing.
+func NewScheduler(eng *sim.Engine, id int, slice sim.Time, d Discipline) Scheduler {
+	switch d {
+	case RoundRobin:
+		return NewProcessor(eng, id, slice)
+	case FIFO:
+		// FIFO is round-robin with an unbounded quantum: the head job
+		// always runs to completion and arrivals never truncate it.
+		return NewProcessor(eng, id, sim.Time(1)<<56)
+	case ProcessorSharing:
+		return NewPSProcessor(eng, id)
+	default:
+		panic(fmt.Sprintf("cpu: unknown discipline %v", d))
+	}
+}
+
+// PSProcessor is an ideal processor-sharing CPU: all n active jobs
+// progress simultaneously at rate 1/n. Events occur only at arrivals and
+// completions, so it is also the cheapest discipline to simulate.
+type PSProcessor struct {
+	eng *sim.Engine
+	id  int
+
+	active     []*psJob
+	lastUpdate sim.Time
+	timer      *sim.Timer
+
+	cumBusy   sim.Time
+	completed uint64
+	failed    bool
+	dropped   uint64
+}
+
+type psJob struct {
+	job       *Job
+	remaining float64 // ns of pure demand left
+}
+
+// NewPSProcessor returns an idle processor-sharing CPU.
+func NewPSProcessor(eng *sim.Engine, id int) *PSProcessor {
+	return &PSProcessor{eng: eng, id: id}
+}
+
+// ID implements Scheduler.
+func (p *PSProcessor) ID() int { return p.id }
+
+// QueueLen implements Scheduler.
+func (p *PSProcessor) QueueLen() int { return len(p.active) }
+
+// Busy implements Scheduler.
+func (p *PSProcessor) Busy() bool { return len(p.active) > 0 }
+
+// Completed implements Scheduler.
+func (p *PSProcessor) Completed() uint64 { return p.completed }
+
+// Failed implements Scheduler.
+func (p *PSProcessor) Failed() bool { return p.failed }
+
+// Dropped implements Scheduler.
+func (p *PSProcessor) Dropped() uint64 { return p.dropped }
+
+// advance applies the elapsed fluid progress to every active job.
+func (p *PSProcessor) advance() {
+	now := p.eng.Now()
+	elapsed := now - p.lastUpdate
+	p.lastUpdate = now
+	n := len(p.active)
+	if n == 0 || elapsed == 0 {
+		return
+	}
+	p.cumBusy += elapsed
+	share := float64(elapsed) / float64(n)
+	for _, a := range p.active {
+		a.remaining -= share
+	}
+}
+
+// reschedule plans the next completion event.
+func (p *PSProcessor) reschedule() {
+	if p.timer != nil {
+		p.timer.Cancel()
+		p.timer = nil
+	}
+	n := len(p.active)
+	if n == 0 {
+		return
+	}
+	min := p.active[0].remaining
+	for _, a := range p.active[1:] {
+		if a.remaining < min {
+			min = a.remaining
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	// Round the wall-clock wait up: truncating down can schedule a
+	// zero-delay event that makes no fluid progress and loops forever.
+	wall := sim.Time(math.Ceil(min * float64(n)))
+	p.timer = p.eng.After(wall, p.completeDue)
+}
+
+// completeDue finishes every job whose fluid remaining has drained.
+func (p *PSProcessor) completeDue() {
+	p.advance()
+	// Sub-nanosecond residue from float division counts as done.
+	const eps = 0.5
+	var done []*psJob
+	var still []*psJob
+	for _, a := range p.active {
+		if a.remaining <= eps {
+			done = append(done, a)
+		} else {
+			still = append(still, a)
+		}
+	}
+	p.active = still
+	now := p.eng.Now()
+	for _, a := range done {
+		a.job.done = true
+		a.job.CompletedAt = now
+		a.job.remaining = 0
+		p.completed++
+	}
+	p.reschedule()
+	for _, a := range done {
+		if a.job.OnComplete != nil {
+			a.job.OnComplete(now)
+		}
+	}
+}
+
+// Submit implements Scheduler.
+func (p *PSProcessor) Submit(j *Job) {
+	if j.Demand < 0 {
+		panic(fmt.Sprintf("cpu: job %q with negative demand %v", j.Name, j.Demand))
+	}
+	if p.failed {
+		p.dropped++
+		return
+	}
+	now := p.eng.Now()
+	j.SubmittedAt = now
+	j.remaining = j.Demand
+	if j.Demand == 0 {
+		j.started, j.done = true, true
+		j.StartedAt, j.CompletedAt = now, now
+		p.completed++
+		if j.OnComplete != nil {
+			j.OnComplete(now)
+		}
+		return
+	}
+	p.advance()
+	j.started = true
+	j.StartedAt = now
+	p.active = append(p.active, &psJob{job: j, remaining: float64(j.Demand)})
+	p.reschedule()
+}
+
+// BusyTime implements Scheduler.
+func (p *PSProcessor) BusyTime() sim.Time {
+	t := p.cumBusy
+	if len(p.active) > 0 {
+		t += p.eng.Now() - p.lastUpdate
+	}
+	return t
+}
+
+// Fail implements Scheduler: active fluid work is lost.
+func (p *PSProcessor) Fail() {
+	if p.failed {
+		return
+	}
+	p.advance()
+	p.failed = true
+	p.dropped += uint64(len(p.active))
+	p.active = nil
+	if p.timer != nil {
+		p.timer.Cancel()
+		p.timer = nil
+	}
+}
+
+// Recover implements Scheduler.
+func (p *PSProcessor) Recover() {
+	p.failed = false
+	p.lastUpdate = p.eng.Now()
+}
+
+// Compile-time checks: both processor types satisfy Scheduler.
+var (
+	_ Scheduler = (*Processor)(nil)
+	_ Scheduler = (*PSProcessor)(nil)
+)

@@ -1,0 +1,222 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDisciplineStrings(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || FIFO.String() != "fifo" ||
+		ProcessorSharing.String() != "processor-sharing" {
+		t.Error("discipline names wrong")
+	}
+	if Discipline(99).String() == "" {
+		t.Error("unknown discipline empty string")
+	}
+}
+
+func TestNewSchedulerBuildsEachDiscipline(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, d := range []Discipline{RoundRobin, FIFO, ProcessorSharing} {
+		s := NewScheduler(eng, 3, DefaultSlice, d)
+		if s.ID() != 3 {
+			t.Errorf("%v: ID = %d", d, s.ID())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown discipline did not panic")
+		}
+	}()
+	NewScheduler(eng, 0, DefaultSlice, Discipline(42))
+}
+
+func TestFIFORunsToCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewScheduler(eng, 0, DefaultSlice, FIFO)
+	a := &Job{Name: "a", Demand: 10 * ms}
+	b := &Job{Name: "b", Demand: 2 * ms}
+	p.Submit(a)
+	eng.Schedule(ms, func() { p.Submit(b) })
+	eng.Run()
+	// No interleaving: a finishes first despite b being shorter.
+	if a.CompletedAt != 10*ms {
+		t.Errorf("a completed at %v, want 10ms", a.CompletedAt)
+	}
+	if b.CompletedAt != 12*ms {
+		t.Errorf("b completed at %v, want 12ms", b.CompletedAt)
+	}
+}
+
+func TestPSSingleJobExact(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPSProcessor(eng, 0)
+	j := &Job{Demand: 10 * ms}
+	p.Submit(j)
+	eng.Run()
+	if !j.Done() || j.CompletedAt != 10*ms {
+		t.Errorf("completed at %v, want 10ms", j.CompletedAt)
+	}
+	if p.BusyTime() != 10*ms {
+		t.Errorf("BusyTime = %v", p.BusyTime())
+	}
+	if p.Completed() != 1 {
+		t.Errorf("Completed = %d", p.Completed())
+	}
+}
+
+func TestPSEqualJobsFinishTogether(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPSProcessor(eng, 0)
+	a := &Job{Demand: 5 * ms}
+	b := &Job{Demand: 5 * ms}
+	p.Submit(a)
+	p.Submit(b)
+	eng.Run()
+	if a.CompletedAt != 10*ms || b.CompletedAt != 10*ms {
+		t.Errorf("completions %v, %v — want both at 10ms", a.CompletedAt, b.CompletedAt)
+	}
+}
+
+func TestPSLateArrivalSharing(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPSProcessor(eng, 0)
+	a := &Job{Demand: 10 * ms}
+	b := &Job{Demand: 2 * ms}
+	p.Submit(a)
+	// b arrives at 6ms: a has 4ms left; they share until b drains.
+	// b needs 2ms at rate 1/2 → 4ms wall → b done at 10ms, a consumed
+	// 2ms in that span → 2ms left alone → a done at 12ms.
+	eng.Schedule(6*ms, func() { p.Submit(b) })
+	eng.Run()
+	if b.CompletedAt != 10*ms {
+		t.Errorf("b completed at %v, want 10ms", b.CompletedAt)
+	}
+	if a.CompletedAt != 12*ms {
+		t.Errorf("a completed at %v, want 12ms", a.CompletedAt)
+	}
+	if p.BusyTime() != 12*ms {
+		t.Errorf("BusyTime = %v, want 12ms", p.BusyTime())
+	}
+}
+
+func TestPSZeroDemandImmediate(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPSProcessor(eng, 0)
+	done := false
+	p.Submit(&Job{Demand: 0, OnComplete: func(sim.Time) { done = true }})
+	if !done {
+		t.Error("zero-demand job not immediate")
+	}
+	eng.Run()
+}
+
+func TestPSFailAndRecover(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPSProcessor(eng, 0)
+	lost := &Job{Demand: 10 * ms}
+	p.Submit(lost)
+	eng.Schedule(4*ms, func() { p.Fail() })
+	eng.Run()
+	if lost.Done() {
+		t.Error("job survived the crash")
+	}
+	if p.Dropped() != 1 || !p.Failed() {
+		t.Errorf("dropped=%d failed=%v", p.Dropped(), p.Failed())
+	}
+	if p.BusyTime() != 4*ms {
+		t.Errorf("pre-crash busy = %v, want 4ms", p.BusyTime())
+	}
+	p.Recover()
+	ok := &Job{Demand: ms}
+	p.Submit(ok)
+	eng.Run()
+	if !ok.Done() {
+		t.Error("job after recovery did not run")
+	}
+}
+
+func TestPSNegativeDemandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative demand did not panic")
+		}
+	}()
+	NewPSProcessor(sim.NewEngine(), 0).Submit(&Job{Demand: -1})
+}
+
+// Property: processor sharing is the fluid limit of round-robin — with a
+// fine slice, RR completion times approach PS within n_jobs slices.
+func TestPropertyPSMatchesFineSliceRR(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed, 31)
+		n := 2 + int(r.Uint64()%4)
+		type arrival struct {
+			at, demand sim.Time
+		}
+		arrivals := make([]arrival, n)
+		for i := range arrivals {
+			arrivals[i] = arrival{
+				at:     sim.Time(r.Uint64()%20) * ms,
+				demand: sim.Time(5+r.Uint64()%40) * ms,
+			}
+		}
+		run := func(s Scheduler, eng *sim.Engine) []sim.Time {
+			done := make([]sim.Time, n)
+			for i, a := range arrivals {
+				i, a := i, a
+				eng.Schedule(a.at, func() {
+					s.Submit(&Job{Demand: a.demand, OnComplete: func(at sim.Time) { done[i] = at }})
+				})
+			}
+			eng.Run()
+			return done
+		}
+		engPS := sim.NewEngine()
+		ps := run(NewPSProcessor(engPS, 0), engPS)
+		engRR := sim.NewEngine()
+		fine := 100 * sim.Microsecond
+		rr := run(NewProcessor(engRR, 0, fine), engRR)
+		for i := range ps {
+			if math.Abs(float64(ps[i]-rr[i])) > float64(sim.Time(n+1)*fine) {
+				t.Logf("seed %d: job %d PS %v vs RR %v", seed, i, ps[i], rr[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PS conserves work — busy time equals total demand when all
+// jobs complete.
+func TestPropertyPSWorkConservation(t *testing.T) {
+	f := func(demands []uint8) bool {
+		if len(demands) == 0 {
+			return true
+		}
+		eng := sim.NewEngine()
+		p := NewPSProcessor(eng, 0)
+		var total sim.Time
+		for _, d := range demands {
+			demand := sim.Time(1+int(d)%32) * ms
+			total += demand
+			p.Submit(&Job{Demand: demand})
+		}
+		eng.Run()
+		diff := p.BusyTime() - total
+		if diff < 0 {
+			diff = -diff
+		}
+		// Float residue tolerance: a nanosecond per job.
+		return diff <= sim.Time(len(demands)) && p.Completed() == uint64(len(demands))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

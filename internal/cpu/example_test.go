@@ -1,0 +1,49 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Two equal jobs interleave under round-robin: with a 1 ms slice the
+// first finishes one slice before the second.
+func ExampleProcessor() {
+	eng := sim.NewEngine()
+	p := cpu.NewProcessor(eng, 0, cpu.DefaultSlice)
+	for _, name := range []string{"a", "b"} {
+		name := name
+		p.Submit(&cpu.Job{
+			Name:   name,
+			Demand: 3 * sim.Millisecond,
+			OnComplete: func(at sim.Time) {
+				fmt.Println(name, "done at", at)
+			},
+		})
+	}
+	eng.Run()
+	// Output:
+	// a done at 5.000ms
+	// b done at 6.000ms
+}
+
+// Under ideal processor sharing the same two jobs finish together.
+func ExamplePSProcessor() {
+	eng := sim.NewEngine()
+	p := cpu.NewPSProcessor(eng, 0)
+	for _, name := range []string{"a", "b"} {
+		name := name
+		p.Submit(&cpu.Job{
+			Name:   name,
+			Demand: 3 * sim.Millisecond,
+			OnComplete: func(at sim.Time) {
+				fmt.Println(name, "done at", at)
+			},
+		})
+	}
+	eng.Run()
+	// Output:
+	// a done at 6.000ms
+	// b done at 6.000ms
+}

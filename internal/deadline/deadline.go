@@ -1,0 +1,103 @@
+// Package deadline implements the paper's variant of the Equal
+// Flexibility (EQF) strategy [KG97] used in §4.1 (eqs. 1–2) to derive
+// individual subtask and message deadlines from the end-to-end task
+// deadline: each component receives its estimated duration plus a share of
+// the remaining slack proportional to that duration, walking the chain
+// front to back.
+package deadline
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Chain holds the duration estimates the assignment is computed from:
+// Exec[i] estimates subtask i's execution latency (eex with the initial
+// operating conditions) and Comm[i] estimates message i's communication
+// delay (ecd); Comm for the final subtask is zero when the chain ends at
+// the last subtask.
+type Chain struct {
+	Exec []sim.Time
+	Comm []sim.Time
+}
+
+// Assignment carries relative deadlines: Subtask[i] is dl(stᵢ) and
+// Message[i] is dl(mᵢ). They tile the end-to-end deadline exactly when no
+// clamping occurs.
+type Assignment struct {
+	Subtask []sim.Time
+	Message []sim.Time
+}
+
+// TotalAssigned returns the sum of all assigned deadlines.
+func (a Assignment) TotalAssigned() sim.Time {
+	var t sim.Time
+	for _, d := range a.Subtask {
+		t += d
+	}
+	for _, d := range a.Message {
+		t += d
+	}
+	return t
+}
+
+// minShare floors a clamped deadline at a tenth of the component's
+// estimated duration, so an overloaded chain (estimates exceeding the
+// end-to-end deadline) still yields positive, meaningful deadlines.
+func minShare(d sim.Time) sim.Time {
+	m := d / 10
+	if m < sim.Microsecond {
+		m = sim.Microsecond
+	}
+	return m
+}
+
+// AssignEQF distributes the end-to-end deadline across the chain.
+func AssignEQF(c Chain, endToEnd sim.Time) (Assignment, error) {
+	n := len(c.Exec)
+	if n == 0 {
+		return Assignment{}, fmt.Errorf("deadline: empty chain")
+	}
+	if len(c.Comm) != n {
+		return Assignment{}, fmt.Errorf("deadline: %d exec estimates but %d comm estimates", n, len(c.Comm))
+	}
+	if endToEnd <= 0 {
+		return Assignment{}, fmt.Errorf("deadline: non-positive end-to-end deadline %v", endToEnd)
+	}
+	var rem sim.Time
+	for i := 0; i < n; i++ {
+		if c.Exec[i] <= 0 {
+			return Assignment{}, fmt.Errorf("deadline: subtask %d with non-positive estimate %v", i, c.Exec[i])
+		}
+		if c.Comm[i] < 0 {
+			return Assignment{}, fmt.Errorf("deadline: message %d with negative estimate %v", i, c.Comm[i])
+		}
+		rem += c.Exec[i] + c.Comm[i]
+	}
+
+	a := Assignment{
+		Subtask: make([]sim.Time, n),
+		Message: make([]sim.Time, n),
+	}
+	var offset sim.Time
+	assign := func(dur sim.Time) sim.Time {
+		// Slack left for the rest of the chain, which may be negative
+		// when estimates exceed the deadline.
+		slack := endToEnd - offset - rem
+		dl := dur + sim.Time(float64(slack)*float64(dur)/float64(rem))
+		if min := minShare(dur); dl < min {
+			dl = min
+		}
+		offset += dl
+		rem -= dur
+		return dl
+	}
+	for i := 0; i < n; i++ {
+		a.Subtask[i] = assign(c.Exec[i])
+		if c.Comm[i] > 0 {
+			a.Message[i] = assign(c.Comm[i])
+		}
+	}
+	return a, nil
+}

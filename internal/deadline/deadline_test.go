@@ -1,0 +1,276 @@
+package deadline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+const ms = sim.Millisecond
+
+func TestAssignEQFDistributesSlackProportionally(t *testing.T) {
+	// Two subtasks of 100ms and 300ms, no messages, 800ms deadline:
+	// 400ms slack split 1:3.
+	a, err := AssignEQF(Chain{
+		Exec: []sim.Time{100 * ms, 300 * ms},
+		Comm: []sim.Time{0, 0},
+	}, 800*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Subtask[0] != 200*ms {
+		t.Errorf("dl(st1) = %v, want 200ms", a.Subtask[0])
+	}
+	if a.Subtask[1] != 600*ms {
+		t.Errorf("dl(st2) = %v, want 600ms", a.Subtask[1])
+	}
+	if a.Message[0] != 0 || a.Message[1] != 0 {
+		t.Errorf("messages got deadlines: %v", a.Message)
+	}
+}
+
+func TestAssignEQFWithMessages(t *testing.T) {
+	// One subtask (100ms) + one message (100ms), 400ms deadline: equal
+	// durations get equal shares.
+	a, err := AssignEQF(Chain{
+		Exec: []sim.Time{100 * ms, 100 * ms},
+		Comm: []sim.Time{100 * ms, 0},
+	}, 600*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Subtask[0] != a.Message[0] || a.Message[0] != a.Subtask[1] {
+		t.Errorf("equal durations got unequal deadlines: %v / %v", a.Subtask, a.Message)
+	}
+	if got := a.TotalAssigned(); got != 600*ms {
+		t.Errorf("total = %v, want 600ms", got)
+	}
+}
+
+func TestAssignEQFExactlyTilesDeadline(t *testing.T) {
+	a, err := AssignEQF(Chain{
+		Exec: []sim.Time{13 * ms, 91 * ms, 7 * ms},
+		Comm: []sim.Time{5 * ms, 17 * ms, 0},
+	}, 990*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.TotalAssigned(); sim.Time(math.Abs(float64(got-990*ms))) > 10 {
+		t.Errorf("total = %v, want 990ms ± 10ns", got)
+	}
+	for i, dl := range a.Subtask {
+		if dl <= 0 {
+			t.Errorf("dl(st%d) = %v", i+1, dl)
+		}
+	}
+}
+
+func TestAssignEQFNegativeSlackShrinks(t *testing.T) {
+	// Estimates total 400ms against a 200ms deadline: deadlines shrink
+	// proportionally but stay positive.
+	a, err := AssignEQF(Chain{
+		Exec: []sim.Time{100 * ms, 300 * ms},
+		Comm: []sim.Time{0, 0},
+	}, 200*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Subtask[0] != 50*ms || a.Subtask[1] != 150*ms {
+		t.Errorf("shrunk deadlines = %v, want [50ms 150ms]", a.Subtask)
+	}
+}
+
+func TestAssignEQFClampsAtMinShare(t *testing.T) {
+	// Deadline far below estimates: every component floors at a tenth of
+	// its duration.
+	a, err := AssignEQF(Chain{
+		Exec: []sim.Time{100 * ms, 100 * ms},
+		Comm: []sim.Time{0, 0},
+	}, 1*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dl := range a.Subtask {
+		if dl < 10*ms/10 {
+			t.Errorf("dl(st%d) = %v below min share", i+1, dl)
+		}
+		if dl <= 0 {
+			t.Errorf("dl(st%d) not positive", i+1)
+		}
+	}
+}
+
+func TestAssignEQFValidation(t *testing.T) {
+	ok := Chain{Exec: []sim.Time{ms}, Comm: []sim.Time{0}}
+	cases := map[string]struct {
+		c  Chain
+		dl sim.Time
+	}{
+		"empty":         {Chain{}, ms},
+		"mismatch":      {Chain{Exec: []sim.Time{ms}, Comm: nil}, ms},
+		"zero deadline": {ok, 0},
+		"zero exec":     {Chain{Exec: []sim.Time{0}, Comm: []sim.Time{0}}, ms},
+		"negative comm": {Chain{Exec: []sim.Time{ms}, Comm: []sim.Time{-1}}, ms},
+	}
+	for name, c := range cases {
+		if _, err := AssignEQF(c.c, c.dl); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// Property: with positive estimates whose total fits in the deadline, the
+// assignment tiles the deadline exactly (within float rounding), every
+// deadline is at least its estimate, and slack shares are ordered like
+// durations.
+func TestPropertyEQFTiling(t *testing.T) {
+	f := func(raw []uint16, dlRaw uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		c := Chain{}
+		var total sim.Time
+		for i, r := range raw {
+			e := sim.Time(r%500+1) * ms / 10
+			var m sim.Time
+			if i != len(raw)-1 {
+				m = sim.Time(r%97) * ms / 10
+			}
+			c.Exec = append(c.Exec, e)
+			c.Comm = append(c.Comm, m)
+			total += e + m
+		}
+		deadline := total + sim.Time(dlRaw%1_000_000)*sim.Microsecond
+		a, err := AssignEQF(c, deadline)
+		if err != nil {
+			return false
+		}
+		if diff := math.Abs(float64(a.TotalAssigned() - deadline)); diff > float64(len(raw)*100) {
+			return false
+		}
+		for i := range c.Exec {
+			if a.Subtask[i] < c.Exec[i] {
+				return false // nonnegative slack must not shrink components
+			}
+			if c.Comm[i] > 0 && a.Message[i] < c.Comm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling all estimates and the deadline scales the assignment
+// (EQF is scale-invariant).
+func TestPropertyEQFScaleInvariance(t *testing.T) {
+	f := func(e1, e2, m1 uint8) bool {
+		c := Chain{
+			Exec: []sim.Time{sim.Time(e1%50+1) * ms, sim.Time(e2%50+1) * ms},
+			Comm: []sim.Time{sim.Time(m1%20) * ms, 0},
+		}
+		d := sim.Time(300) * ms
+		a1, err := AssignEQF(c, d)
+		if err != nil {
+			return false
+		}
+		c2 := Chain{
+			Exec: []sim.Time{2 * c.Exec[0], 2 * c.Exec[1]},
+			Comm: []sim.Time{2 * c.Comm[0], 0},
+		}
+		a2, err := AssignEQF(c2, 2*d)
+		if err != nil {
+			return false
+		}
+		for i := range a1.Subtask {
+			if math.Abs(float64(a2.Subtask[i]-2*a1.Subtask[i])) > 10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// paperEQF computes dl(st_i) and dl(m_i) with the paper's closed-form
+// eqs. (1)–(2): each component gets its duration plus the remaining slack
+// times its share of the remaining chain duration, where "remaining"
+// spans component i to the end.
+func paperEQF(c Chain, endToEnd sim.Time) Assignment {
+	n := len(c.Exec)
+	a := Assignment{Subtask: make([]sim.Time, n), Message: make([]sim.Time, n)}
+	var offset sim.Time
+	for i := 0; i < n; i++ {
+		// Remaining duration from subtask i to the end.
+		var rem sim.Time
+		for j := i; j < n; j++ {
+			rem += c.Exec[j] + c.Comm[j]
+		}
+		slack := endToEnd - offset - rem
+		dl := c.Exec[i] + sim.Time(float64(slack)*float64(c.Exec[i])/float64(rem))
+		a.Subtask[i] = dl
+		offset += dl
+		if c.Comm[i] > 0 {
+			rem -= c.Exec[i]
+			slack = endToEnd - offset - rem
+			dlm := c.Comm[i] + sim.Time(float64(slack)*float64(c.Comm[i])/float64(rem))
+			a.Message[i] = dlm
+			offset += dlm
+		}
+	}
+	return a
+}
+
+// Property: the sequential implementation equals the paper's closed-form
+// eqs. (1)–(2) whenever no clamping is involved.
+func TestPropertyMatchesPaperClosedForm(t *testing.T) {
+	f := func(raw []uint16, slackRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		c := Chain{}
+		var total sim.Time
+		for i, r := range raw {
+			e := sim.Time(r%400+1) * ms
+			var m sim.Time
+			if i != len(raw)-1 {
+				m = sim.Time(r%89) * ms
+			}
+			c.Exec = append(c.Exec, e)
+			c.Comm = append(c.Comm, m)
+			total += e + m
+		}
+		deadline := total + sim.Time(slackRaw)*ms
+		got, err := AssignEQF(c, deadline)
+		if err != nil {
+			return false
+		}
+		want := paperEQF(c, deadline)
+		for i := range c.Exec {
+			if d := got.Subtask[i] - want.Subtask[i]; d > 2 || d < -2 {
+				t.Logf("subtask %d: got %v, paper %v", i, got.Subtask[i], want.Subtask[i])
+				return false
+			}
+			if d := got.Message[i] - want.Message[i]; d > 2 || d < -2 {
+				t.Logf("message %d: got %v, paper %v", i, got.Message[i], want.Message[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

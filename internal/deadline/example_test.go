@@ -1,0 +1,28 @@
+package deadline_test
+
+import (
+	"fmt"
+
+	"repro/internal/deadline"
+	"repro/internal/sim"
+)
+
+// Two subtasks estimated at 100 ms and 300 ms share an 800 ms end-to-end
+// deadline; EQF gives each its duration plus a slack share proportional
+// to that duration.
+func ExampleAssignEQF() {
+	a, err := deadline.AssignEQF(deadline.Chain{
+		Exec: []sim.Time{100 * sim.Millisecond, 300 * sim.Millisecond},
+		Comm: []sim.Time{0, 0},
+	}, 800*sim.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dl(st1) =", a.Subtask[0])
+	fmt.Println("dl(st2) =", a.Subtask[1])
+	fmt.Println("total   =", a.TotalAssigned())
+	// Output:
+	// dl(st1) = 200.000ms
+	// dl(st2) = 600.000ms
+	// total   = 800.000ms
+}

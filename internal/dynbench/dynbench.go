@@ -1,0 +1,139 @@
+// Package dynbench provides the benchmark application standing in for the
+// paper's DynBench/AAW-derived real-time benchmark [SWR99]: a five-subtask
+// sensing pipeline processing radar "tracks". Table 1's structure is
+// reproduced exactly — five subtasks in series, two of them replicable
+// (numbers 3 and 5, the paper's Filter and EvalDecide programs), 80-byte
+// tracks, a 1 s data arrival period, and a 990 ms relative end-to-end
+// deadline.
+//
+// Ground-truth CPU demands for the replicable subtasks follow Table 2's
+// zero-contention coefficients: demand(d) = a3·d² + b3·d milliseconds with
+// d in hundreds of tracks, so filtering and evaluate-and-decide cost grows
+// quadratically with track count — which is exactly why splitting the
+// stream across replicas pays superlinearly. The three fixed subtasks have
+// small linear demands. Optional multiplicative noise models measurement
+// variance.
+package dynbench
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/regress"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Table 1 constants.
+const (
+	TrackBytes      = 80
+	Period          = sim.Second
+	Deadline        = 990 * sim.Millisecond
+	NumSubtasks     = 5
+	FilterStage     = 2 // subtask 3, 0-indexed
+	EvalDecideStage = 4 // subtask 5, 0-indexed
+)
+
+// Ground-truth demand coefficients (ms, d in hundreds of tracks): the
+// replicable stages take Table 2's a3/b3; the fixed stages are light and
+// linear.
+// The fixed-stage coefficients are sized so the pipeline genuinely
+// saturates the 990 ms deadline near the paper's observed threshold of
+// max workload ≈ 28×500 tracks (§5.2): the non-replicable work grows
+// linearly and cannot be parallelized away, which is what eventually
+// binds the deadline however many replicas the allocators add.
+const (
+	detectB    = 0.50
+	associateB = 0.35
+	filterA    = 0.11816174
+	filterB    = 0.983699
+	correlateB = 2.00
+	evalA      = 0.022324
+	evalB      = 1.443762
+)
+
+// Config controls benchmark construction.
+type Config struct {
+	// NoiseAmp is the multiplicative demand noise amplitude in [0, 1);
+	// zero demands are exactly the ground-truth curves.
+	NoiseAmp float64
+	// Name is the task name; empty defaults to "AAW".
+	Name string
+}
+
+// DefaultConfig returns the configuration used by the headline
+// experiments: 3 % demand noise.
+func DefaultConfig() Config { return Config{NoiseAmp: 0.03, Name: "AAW"} }
+
+// quadDemand builds a DemandFunc of a·d² + b·d milliseconds.
+func quadDemand(a, b, noiseAmp float64) task.DemandFunc {
+	return func(items int, rng *rand.Rand) sim.Time {
+		if items < 0 {
+			panic(fmt.Sprintf("dynbench: negative item count %d", items))
+		}
+		d := float64(items) / regress.ItemsPerUnit
+		ms := a*d*d + b*d
+		t := sim.FromMillis(ms)
+		if rng != nil && noiseAmp > 0 {
+			t = sim.JitterTime(rng, t, noiseAmp)
+		}
+		return t
+	}
+}
+
+// NewTask builds the benchmark task spec.
+func NewTask(cfg Config) task.Spec {
+	if cfg.NoiseAmp < 0 || cfg.NoiseAmp >= 1 {
+		panic(fmt.Sprintf("dynbench: noise amplitude %v out of [0,1)", cfg.NoiseAmp))
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "AAW"
+	}
+	return task.Spec{
+		Name:     name,
+		Period:   Period,
+		Deadline: Deadline,
+		Subtasks: []task.SubtaskSpec{
+			{Name: "Detect", Demand: quadDemand(0, detectB, cfg.NoiseAmp), OutBytesPerItem: TrackBytes},
+			{Name: "Associate", Demand: quadDemand(0, associateB, cfg.NoiseAmp), OutBytesPerItem: TrackBytes},
+			{Name: "Filter", Replicable: true, Demand: quadDemand(filterA, filterB, cfg.NoiseAmp), OutBytesPerItem: TrackBytes},
+			{Name: "Correlate", Demand: quadDemand(0, correlateB, cfg.NoiseAmp), OutBytesPerItem: TrackBytes},
+			{Name: "EvalDecide", Replicable: true, Demand: quadDemand(evalA, evalB, cfg.NoiseAmp)},
+		},
+	}
+}
+
+// GroundTruthExec returns the theoretical eq. (3) model for a stage of the
+// benchmark under the round-robin contention law latency ≈ demand·(1+u):
+// a(u) = a3·(1+u) and b(u) = b3·(1+u), i.e. A2 = A3 = a3, B2 = B3 = b3,
+// A1 = B1 = 0. Profiling fits should approach these coefficients.
+func GroundTruthExec(stage int) regress.ExecModel {
+	a, b := stageCoefficients(stage)
+	return regress.ExecModel{A2: a, A3: a, B2: b, B3: b}
+}
+
+// PureDemandMS returns the stage's zero-contention demand in milliseconds
+// for the given track count.
+func PureDemandMS(stage, items int) float64 {
+	a, b := stageCoefficients(stage)
+	d := float64(items) / regress.ItemsPerUnit
+	return a*d*d + b*d
+}
+
+func stageCoefficients(stage int) (a, b float64) {
+	switch stage {
+	case 0:
+		return 0, detectB
+	case 1:
+		return 0, associateB
+	case FilterStage:
+		return filterA, filterB
+	case 3:
+		return 0, correlateB
+	case EvalDecideStage:
+		return evalA, evalB
+	default:
+		panic(fmt.Sprintf("dynbench: stage %d out of [0,%d)", stage, NumSubtasks))
+	}
+}

@@ -1,0 +1,173 @@
+package dynbench
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestNewTaskMatchesTable1(t *testing.T) {
+	spec := NewTask(DefaultConfig())
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Period != sim.Second {
+		t.Errorf("period = %v, want 1s", spec.Period)
+	}
+	if spec.Deadline != 990*sim.Millisecond {
+		t.Errorf("deadline = %v, want 990ms", spec.Deadline)
+	}
+	if len(spec.Subtasks) != 5 {
+		t.Fatalf("subtasks = %d, want 5", len(spec.Subtasks))
+	}
+	var replicable int
+	for i, st := range spec.Subtasks {
+		if st.Replicable {
+			replicable++
+			if i != FilterStage && i != EvalDecideStage {
+				t.Errorf("unexpected replicable stage %d", i)
+			}
+		}
+	}
+	if replicable != 2 {
+		t.Errorf("replicable subtasks = %d, want 2 (Table 1)", replicable)
+	}
+	if spec.Subtasks[0].OutBytesPerItem != TrackBytes {
+		t.Errorf("track size = %d, want 80", spec.Subtasks[0].OutBytesPerItem)
+	}
+	if spec.Subtasks[4].OutBytesPerItem != 0 {
+		t.Error("final subtask emits a message")
+	}
+}
+
+func TestNewTaskCustomName(t *testing.T) {
+	if got := NewTask(Config{Name: "X"}).Name; got != "X" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewTask(Config{}).Name; got != "AAW" {
+		t.Errorf("default name = %q", got)
+	}
+}
+
+func TestNewTaskBadNoisePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("noise 1.0 did not panic")
+		}
+	}()
+	NewTask(Config{NoiseAmp: 1})
+}
+
+func TestFilterDemandMatchesTable2(t *testing.T) {
+	spec := NewTask(Config{}) // no noise
+	// 1000 tracks = 10 units: 0.11816174·100 + 0.983699·10 ms.
+	want := sim.FromMillis(0.11816174*100 + 0.983699*10)
+	if got := spec.Subtasks[FilterStage].Demand(1000, nil); got != want {
+		t.Errorf("Filter demand(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestEvalDecideDemandMatchesTable2(t *testing.T) {
+	spec := NewTask(Config{})
+	want := sim.FromMillis(0.022324*4 + 1.443762*2) // 200 tracks
+	if got := spec.Subtasks[EvalDecideStage].Demand(200, nil); got != want {
+		t.Errorf("EvalDecide demand(200) = %v, want %v", got, want)
+	}
+}
+
+func TestDemandZeroItemsZeroCost(t *testing.T) {
+	spec := NewTask(Config{})
+	for i, st := range spec.Subtasks {
+		if got := st.Demand(0, nil); got != 0 {
+			t.Errorf("stage %d demand(0) = %v", i, got)
+		}
+	}
+}
+
+func TestDemandNegativePanics(t *testing.T) {
+	spec := NewTask(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative items did not panic")
+		}
+	}()
+	spec.Subtasks[0].Demand(-1, nil)
+}
+
+func TestNoiseBoundedAndSeeded(t *testing.T) {
+	spec := NewTask(Config{NoiseAmp: 0.1})
+	base := PureDemandMS(FilterStage, 5000)
+	rng := sim.NewRand(7, 7)
+	for i := 0; i < 200; i++ {
+		got := spec.Subtasks[FilterStage].Demand(5000, rng).Milliseconds()
+		if got < base*0.9-1e-9 || got > base*1.1+1e-9 {
+			t.Fatalf("noisy demand %v outside ±10%% of %v", got, base)
+		}
+	}
+	// Same seed → same sequence.
+	a := spec.Subtasks[FilterStage].Demand(5000, sim.NewRand(9, 9))
+	b := spec.Subtasks[FilterStage].Demand(5000, sim.NewRand(9, 9))
+	if a != b {
+		t.Error("seeded noise not reproducible")
+	}
+}
+
+func TestGroundTruthExecConsistentWithPureDemand(t *testing.T) {
+	for _, stage := range []int{0, 1, FilterStage, 3, EvalDecideStage} {
+		m := GroundTruthExec(stage)
+		for _, items := range []int{100, 1000, 10000} {
+			want := PureDemandMS(stage, items)
+			if got := m.LatencyMS(float64(items)/100, 0); math.Abs(got-want) > 1e-9 {
+				t.Errorf("stage %d items %d: model %v, pure %v", stage, items, got, want)
+			}
+			// Contention law: at u the model predicts (1+u)× the pure demand.
+			if got := m.LatencyMS(float64(items)/100, 0.5); math.Abs(got-1.5*want) > 1e-9 {
+				t.Errorf("stage %d: contention law broken: %v vs %v", stage, got, 1.5*want)
+			}
+		}
+	}
+}
+
+func TestStageCoefficientsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("stage 5 did not panic")
+		}
+	}()
+	PureDemandMS(5, 100)
+}
+
+// Property: splitting work across k replicas strictly reduces per-replica
+// demand for the quadratic stages — the premise of replication (§3 item 6).
+func TestPropertyReplicationReducesDemand(t *testing.T) {
+	f := func(items16 uint16, k8 uint8) bool {
+		items := int(items16) + 100
+		k := int(k8%5) + 2
+		whole := PureDemandMS(FilterStage, items)
+		share := PureDemandMS(FilterStage, (items+k-1)/k)
+		return share < whole
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total CPU work shrinks superlinearly for the quadratic stage:
+// k shares of d/k items cost less than the whole d.
+func TestPropertyQuadraticWorkReduction(t *testing.T) {
+	f := func(items16 uint16, k8 uint8) bool {
+		items := int(items16) + 1000
+		k := int(k8%5) + 2
+		whole := PureDemandMS(FilterStage, items)
+		var total float64
+		for i := 0; i < k; i++ {
+			total += PureDemandMS(FilterStage, items/k)
+		}
+		return total < whole
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

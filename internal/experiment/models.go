@@ -1,0 +1,139 @@
+// Package experiment defines one runnable specification per paper table
+// and figure (plus extensions), a parallel sweep runner, and plain-text /
+// CSV renderers for the results. See DESIGN.md §4 for the index.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dynbench"
+	"repro/internal/profile"
+	"repro/internal/regress"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// Models bundles the fitted regression models for one task pipeline.
+type Models struct {
+	Exec    []regress.ExecModel
+	ExecFit []regress.FitQuality
+	Comm    regress.CommModel
+}
+
+// BuildModels runs the full §4.2.1 profiling pipeline for the given task:
+// every subtask's latency is profiled over the (data size × utilization)
+// grid and fitted to eq. (3), and the segment's buffer delay is profiled
+// and fitted to eq. (5).
+func BuildModels(cfg core.Config, spec task.Spec, grid profile.ExecGrid, commGrid profile.CommGrid, seed uint64) (Models, error) {
+	m := Models{}
+	for i, st := range spec.Subtasks {
+		fit, q, err := profile.BuildExecModel(st.Demand, grid, seed+uint64(i)*101)
+		if err != nil {
+			return Models{}, fmt.Errorf("experiment: profiling %s: %w", st.Name, err)
+		}
+		m.Exec = append(m.Exec, fit)
+		m.ExecFit = append(m.ExecFit, q)
+	}
+	comm, err := profile.BuildCommModel(cfg.Network, commGrid)
+	if err != nil {
+		return Models{}, fmt.Errorf("experiment: profiling segment: %w", err)
+	}
+	m.Comm = comm
+	return m, nil
+}
+
+// DefaultModels profiles the Table 1 benchmark once per process and
+// caches the result: every sweep point reuses the same fitted models,
+// exactly as the paper derives Tables 2–3 once and runs all experiments
+// with them.
+func DefaultModels() (Models, error) {
+	modelsOnce.Do(func() {
+		spec := dynbench.NewTask(dynbench.DefaultConfig())
+		cachedModels, cachedErr = BuildModels(
+			core.DefaultConfig(), spec, profile.DefaultExecGrid(), profile.DefaultCommGrid(), 11,
+		)
+	})
+	return cachedModels, cachedErr
+}
+
+var (
+	modelsOnce   sync.Once
+	cachedModels Models
+	cachedErr    error
+)
+
+// BenchmarkSetup binds the Table 1 benchmark task to a workload pattern
+// using the cached profiled models.
+func BenchmarkSetup(pattern workload.Pattern) (core.TaskSetup, error) {
+	m, err := DefaultModels()
+	if err != nil {
+		return core.TaskSetup{}, err
+	}
+	return core.TaskSetup{
+		Spec:    dynbench.NewTask(dynbench.DefaultConfig()),
+		Pattern: pattern,
+		Exec:    m.Exec,
+		Comm:    m.Comm,
+	}, nil
+}
+
+// ModelSource selects where a setup's regression models come from — the
+// fidelity ablation of DESIGN.md §3 (the experiments default to profiled
+// models, the paper's own methodology).
+type ModelSource string
+
+// Model sources.
+const (
+	// SourceProfiled fits eq. (3)/(5) from this simulator's profiling
+	// runs — the paper's methodology, and the default.
+	SourceProfiled ModelSource = "profiled"
+	// SourcePaper uses the published Table 2/3 coefficients verbatim
+	// (with u as a fraction) for the replicable subtasks; the
+	// non-replicable stages, for which the paper publishes nothing, keep
+	// ground-truth models.
+	SourcePaper ModelSource = "paper"
+	// SourceGroundTruth uses the exact demand curves with the RR
+	// contention law — a forecast oracle.
+	SourceGroundTruth ModelSource = "ground-truth"
+)
+
+// SetupWithModels binds the benchmark task to a pattern using the chosen
+// model source.
+func SetupWithModels(pattern workload.Pattern, source ModelSource) (core.TaskSetup, error) {
+	spec := dynbench.NewTask(dynbench.DefaultConfig())
+	net := core.DefaultConfig().Network
+	truthComm := regress.CommModel{
+		K:                       regress.PaperBufferSlopeK,
+		LinkBps:                 net.BandwidthBps,
+		BytesPerItem:            dynbench.TrackBytes,
+		PerMessageOverheadBytes: net.PerMessageOverheadBytes,
+		FrameOverheadBytes:      net.FrameOverheadBytes,
+		MTU:                     net.MTU,
+	}
+	switch source {
+	case SourceProfiled:
+		return BenchmarkSetup(pattern)
+	case SourceGroundTruth:
+		exec := make([]regress.ExecModel, len(spec.Subtasks))
+		for i := range exec {
+			exec[i] = dynbench.GroundTruthExec(i)
+		}
+		m, err := DefaultModels() // profiled comm slope: the oracle still pays real queueing
+		if err != nil {
+			return core.TaskSetup{}, err
+		}
+		return core.TaskSetup{Spec: spec, Pattern: pattern, Exec: exec, Comm: m.Comm}, nil
+	case SourcePaper:
+		exec := make([]regress.ExecModel, len(spec.Subtasks))
+		for i := range exec {
+			exec[i] = dynbench.GroundTruthExec(i)
+		}
+		exec[dynbench.FilterStage] = regress.PaperExecSubtask3()
+		exec[dynbench.EvalDecideStage] = regress.PaperExecSubtask5()
+		return core.TaskSetup{Spec: spec, Pattern: pattern, Exec: exec, Comm: truthComm}, nil
+	default:
+		return core.TaskSetup{}, fmt.Errorf("experiment: unknown model source %q", source)
+	}
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Context carries run options for all experiments.
+type Context struct {
+	// Parallelism caps concurrent simulations; ≤0 means NumCPU.
+	Parallelism int
+	// Quick trims sweeps for fast runs (tests, CI smoke).
+	Quick bool
+}
+
+// sweepPoints returns the x-axis of the paper's figures: max workload
+// 0–35 in units of 500 tracks.
+func (c Context) sweepPoints() []int {
+	if c.Quick {
+		return []int{0, 8, 16, 24, 32}
+	}
+	points := make([]int, 36)
+	for i := range points {
+		points[i] = i
+	}
+	return points
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure of the paper it regenerates
+	Title string
+	Run   func(Context) (Output, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q (run `rmexperiments -list`)", id)
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// MinWorkload is the fixed minimum of every sweep's workload interval
+// (tracks); the paper's x-axes sweep the maximum in units of 500 tracks.
+const MinWorkload = 500
+
+// WorkloadUnit is the paper's x-axis scale: 1 unit = 500 tracks.
+const WorkloadUnit = 500
+
+// SweepPeriods is the run length per sweep point: two triangular cycles.
+const SweepPeriods = 120
+
+// PatternFactory builds the workload pattern for a sweep point's maximum
+// workload in tracks.
+type PatternFactory func(maxItems int) workload.Pattern
+
+// TriangularFactory is Figure 9/10's pattern: two cycles per run.
+func TriangularFactory(maxItems int) workload.Pattern {
+	if maxItems <= MinWorkload {
+		return workload.NewConstant(MinWorkload, SweepPeriods)
+	}
+	return workload.NewTriangular(MinWorkload, maxItems, SweepPeriods, 2)
+}
+
+// IncreasingFactory is Figure 11/13(a)'s pattern.
+func IncreasingFactory(maxItems int) workload.Pattern {
+	if maxItems <= MinWorkload {
+		return workload.NewConstant(MinWorkload, SweepPeriods)
+	}
+	return workload.NewIncreasingRamp(MinWorkload, maxItems, SweepPeriods)
+}
+
+// DecreasingFactory is Figure 12/13(b)'s pattern.
+func DecreasingFactory(maxItems int) workload.Pattern {
+	if maxItems <= MinWorkload {
+		return workload.NewConstant(MinWorkload, SweepPeriods)
+	}
+	return workload.NewDecreasingRamp(MinWorkload, maxItems, SweepPeriods)
+}
+
+// PointResult is one sweep cell.
+type PointResult struct {
+	MaxUnits int // max workload in units of 500 tracks
+	Alg      core.Algorithm
+	Metrics  metrics.RunMetrics
+}
+
+// Sweep runs both algorithms at every max-workload point (in units of 500
+// tracks), fanning the independent simulations across a worker pool. Each
+// run is seeded deterministically from its point and algorithm.
+func Sweep(points []int, factory PatternFactory, parallelism int) ([]PointResult, error) {
+	if parallelism < 1 {
+		parallelism = runtime.NumCPU()
+	}
+	type job struct {
+		idx, units int
+		alg        core.Algorithm
+	}
+	algs := []core.Algorithm{core.Predictive, core.NonPredictive}
+	jobs := make([]job, 0, len(points)*len(algs))
+	for _, u := range points {
+		for _, a := range algs {
+			jobs = append(jobs, job{len(jobs), u, a})
+		}
+	}
+	results := make([]PointResult, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				results[j.idx], errs[j.idx] = runPoint(j.units, j.alg, factory)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func runPoint(units int, alg core.Algorithm, factory PatternFactory) (PointResult, error) {
+	setup, err := BenchmarkSetup(factory(units * WorkloadUnit))
+	if err != nil {
+		return PointResult{}, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = 0x9e3779b9*uint64(units+1) + uint64(len(alg))
+	res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+	if err != nil {
+		return PointResult{}, fmt.Errorf("experiment: point %d %s: %w", units, alg, err)
+	}
+	return PointResult{MaxUnits: units, Alg: alg, Metrics: res.Metrics}, nil
+}
+
+// byPoint reorganizes sweep results for table building.
+func byPoint(results []PointResult) (points []int, pred, nonpred map[int]metrics.RunMetrics) {
+	pred = make(map[int]metrics.RunMetrics)
+	nonpred = make(map[int]metrics.RunMetrics)
+	seen := make(map[int]bool)
+	for _, r := range results {
+		if !seen[r.MaxUnits] {
+			seen[r.MaxUnits] = true
+			points = append(points, r.MaxUnits)
+		}
+		if r.Alg == core.Predictive {
+			pred[r.MaxUnits] = r.Metrics
+		} else {
+			nonpred[r.MaxUnits] = r.Metrics
+		}
+	}
+	return points, pred, nonpred
+}
+
+// sweepCache shares identical sweeps between experiments (Figure 9 and
+// Figure 10 consume the same runs, as do 11/13(a) and 12/13(b)).
+var sweepCache = struct {
+	sync.Mutex
+	m map[string][]PointResult
+}{m: make(map[string][]PointResult)}
+
+// CachedSweep memoizes Sweep by key for the lifetime of the process.
+func CachedSweep(key string, points []int, factory PatternFactory, parallelism int) ([]PointResult, error) {
+	sweepCache.Lock()
+	cached, ok := sweepCache.m[key]
+	sweepCache.Unlock()
+	if ok {
+		return cached, nil
+	}
+	res, err := Sweep(points, factory, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	sweepCache.Lock()
+	sweepCache.m[key] = res
+	sweepCache.Unlock()
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+func sampleResult() core.Result {
+	c := metrics.NewCollector(6)
+	c.ObservePeriodStart(0.5, 0.25, 2)
+	c.ObserveCompletion(false)
+	c.ObserveCompletion(true)
+	c.CountReplications(2)
+	rec := &task.PeriodRecord{
+		Period: 1, Items: 1000,
+		ReleasedAt:  sim.Second,
+		CompletedAt: sim.Second + 400*sim.Millisecond,
+		Deadline:    sim.Second + 990*sim.Millisecond,
+		Stages: []task.StageObservation{{
+			ReadyAt: sim.Second, DoneAt: sim.Second + 300*sim.Millisecond,
+			DeliveredAt: sim.Second + 350*sim.Millisecond, Replicas: 2,
+		}},
+	}
+	return core.Result{
+		Metrics: c.Finish(),
+		Records: []*task.PeriodRecord{rec},
+		Events: []trace.AdaptationEvent{{
+			At: 2 * sim.Second, Period: 2, Task: "T", Stage: 2,
+			Kind: trace.ActionReplicate, Procs: []int{3, 4},
+		}},
+	}
+}
+
+func TestFromResultFull(t *testing.T) {
+	run := FromResult(sampleResult(), true, true)
+	if run.Summary.Completed != 2 || run.Summary.Missed != 1 {
+		t.Errorf("summary = %+v", run.Summary)
+	}
+	if len(run.Periods) != 1 {
+		t.Fatalf("periods = %d", len(run.Periods))
+	}
+	p := run.Periods[0]
+	if p.LatencyMS != 400 || p.Missed {
+		t.Errorf("period = %+v", p)
+	}
+	if len(p.Stages) != 1 || p.Stages[0].ExecMS != 300 || p.Stages[0].CommMS != 50 {
+		t.Errorf("stages = %+v", p.Stages)
+	}
+	if len(run.Events) != 1 || run.Events[0].Kind != "replicate" || run.Events[0].AtMS != 2000 {
+		t.Errorf("events = %+v", run.Events)
+	}
+}
+
+func TestFromResultSummaryOnly(t *testing.T) {
+	run := FromResult(sampleResult(), false, false)
+	if run.Periods != nil || run.Events != nil {
+		t.Error("summary-only export carried detail")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, FromResult(sampleResult(), true, true)); err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary.Combined != FromMetrics(sampleResult().Metrics).Combined {
+		t.Error("round trip changed the combined metric")
+	}
+	for _, key := range []string{`"missed_pct"`, `"combined_metric"`, `"latency_ms"`, `"procs"`} {
+		if !strings.Contains(b.String(), key) {
+			t.Errorf("JSON missing %s", key)
+		}
+	}
+}

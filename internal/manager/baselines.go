@@ -1,0 +1,47 @@
+package manager
+
+import "repro/internal/task"
+
+// Greedy is an additional baseline beyond the paper's two algorithms: it
+// reacts to a replication candidate by adding exactly one replica on the
+// least-utilized live processor — no forecasting, no threshold — and
+// always consents to shutting down a spare replica. It represents the
+// simplest reactive policy a practitioner might deploy.
+type Greedy struct{}
+
+// Name implements Allocator.
+func (Greedy) Name() string { return "greedy" }
+
+// Replicate adds one replica on the least-utilized live processor.
+func (Greedy) Replicate(d *task.Deployment, stage int, env Environment) (int, bool) {
+	if err := env.validate(); err != nil {
+		panic(err)
+	}
+	pick, found := leastUtilized(d, stage, env.raw())
+	if !found {
+		return 0, false
+	}
+	if err := d.AddReplica(stage, pick); err != nil {
+		panic(err)
+	}
+	return 1, true
+}
+
+// ShouldShutdown always consents when a spare replica exists.
+func (Greedy) ShouldShutdown(d *task.Deployment, stage int, env Environment) bool {
+	return d.ReplicaCount(stage) > 1
+}
+
+// Static never adapts: it is paired with an initial deployment that
+// replicates every replicable subtask onto every node, giving the
+// maximum-concurrency upper bound on resource use.
+type Static struct{}
+
+// Name implements Allocator.
+func (Static) Name() string { return "static-max" }
+
+// Replicate is a no-op.
+func (Static) Replicate(*task.Deployment, int, Environment) (int, bool) { return 0, false }
+
+// ShouldShutdown never consents.
+func (Static) ShouldShutdown(*task.Deployment, int, Environment) bool { return false }

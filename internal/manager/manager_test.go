@@ -1,0 +1,492 @@
+package manager
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regress"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+const ms = sim.Millisecond
+
+func demand(items int, _ *rand.Rand) sim.Time { return sim.Time(items) * sim.Microsecond }
+
+func spec() task.Spec {
+	return task.Spec{
+		Name:     "T",
+		Period:   sim.Second,
+		Deadline: 990 * ms,
+		Subtasks: []task.SubtaskSpec{
+			{Name: "a", Demand: demand, OutBytesPerItem: 80},
+			{Name: "b", Replicable: true, Demand: demand, OutBytesPerItem: 80},
+			{Name: "c", Replicable: true, Demand: demand},
+		},
+	}
+}
+
+func deployment(t *testing.T) *task.Deployment {
+	t.Helper()
+	d, err := task.NewDeployment(spec(), []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Test models: latency = d² + d milliseconds, utilization-independent,
+// so forecasts are easy to compute by hand.
+func testModels() ([]regress.ExecModel, regress.CommModel) {
+	exec := []regress.ExecModel{
+		{B3: 0.1},
+		{A3: 1, B3: 1},
+		{A3: 1, B3: 1},
+	}
+	comm := regress.CommModel{
+		K:                       0.7,
+		LinkBps:                 100_000_000,
+		BytesPerItem:            80,
+		PerMessageOverheadBytes: 256,
+		FrameOverheadBytes:      38,
+		MTU:                     1500,
+	}
+	return exec, comm
+}
+
+func predictive(t *testing.T) *Predictive {
+	t.Helper()
+	exec, comm := testModels()
+	p, err := NewPredictive(exec, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func env(items int, dl sim.Time, utils []float64) Environment {
+	return Environment{
+		Procs:           StaticProcView(utils),
+		Items:           items,
+		TotalItems:      items,
+		SubtaskDeadline: dl,
+		SlackFraction:   0.2,
+	}
+}
+
+func TestNewPredictiveValidation(t *testing.T) {
+	_, comm := testModels()
+	if _, err := NewPredictive(nil, comm); err == nil {
+		t.Error("empty exec models accepted")
+	}
+	bad := comm
+	bad.LinkBps = 0
+	exec, _ := testModels()
+	if _, err := NewPredictive(exec, bad); err == nil {
+		t.Error("invalid comm model accepted")
+	}
+}
+
+func TestNewNonPredictiveValidation(t *testing.T) {
+	if _, err := NewNonPredictive(0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewNonPredictive(1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	p := predictive(t)
+	np, _ := NewNonPredictive(0.2)
+	if p.Name() != "predictive" || np.Name() != "non-predictive" {
+		t.Error("allocator names wrong")
+	}
+}
+
+func TestPredictiveAddsOneReplicaWhenEnough(t *testing.T) {
+	p := predictive(t)
+	d := deployment(t)
+	// 2000 items on one replica forecast ≈ 435ms > 160ms limit; on two,
+	// ≈ 125ms ≤ 160ms.
+	added, ok := p.Replicate(d, 1, env(2000, 200*ms, make([]float64, 6)))
+	if !ok || added != 1 {
+		t.Fatalf("added=%d ok=%v, want 1,true", added, ok)
+	}
+	// Least-utilized non-hosting processor with all-zero utilization is
+	// the lowest id not already hosting: stage 1 lives on proc 0 → proc 1.
+	if got := d.Replicas(1); len(got) != 2 || got[1] != 1 {
+		t.Errorf("replicas = %v", got)
+	}
+}
+
+func TestPredictiveAddsUntilForecastFits(t *testing.T) {
+	p := predictive(t)
+	d := deployment(t)
+	added, ok := p.Replicate(d, 1, env(2000, 80*ms, make([]float64, 6)))
+	if !ok {
+		t.Fatalf("expected SUCCESS, got failure after %d", added)
+	}
+	if added < 2 {
+		t.Errorf("added = %d, want ≥ 2 for the tight deadline", added)
+	}
+	// The resulting forecast must actually fit.
+	e := env(2000, 80*ms, make([]float64, 6))
+	if !p.forecastOK(d, 1, e, d.Replicas(1)) {
+		t.Error("returned SUCCESS with unsatisfied forecast")
+	}
+}
+
+func TestPredictiveFailureWhenProcessorsExhausted(t *testing.T) {
+	p := predictive(t)
+	d := deployment(t)
+	// Buffer delay alone (14ms) exceeds the 16ms limit: unsatisfiable.
+	added, ok := p.Replicate(d, 1, env(2000, 20*ms, make([]float64, 6)))
+	if ok {
+		t.Fatal("expected FAILURE")
+	}
+	if added != 5 {
+		t.Errorf("added = %d, want all 5 remaining processors", added)
+	}
+	if d.ReplicaCount(1) != 6 {
+		t.Errorf("replicas = %d, want 6 (best effort keeps them)", d.ReplicaCount(1))
+	}
+}
+
+func TestPredictivePicksLeastUtilized(t *testing.T) {
+	p := predictive(t)
+	d := deployment(t)
+	utils := []float64{0.9, 0.5, 0.1, 0.7, 0.3, 0.6}
+	added, ok := p.Replicate(d, 1, env(2000, 200*ms, utils))
+	if !ok || added != 1 {
+		t.Fatalf("added=%d ok=%v", added, ok)
+	}
+	if got := d.Replicas(1); got[len(got)-1] != 2 {
+		t.Errorf("picked %v, want processor 2 (lowest utilization)", got)
+	}
+}
+
+func TestPredictiveUtilizationRaisesForecast(t *testing.T) {
+	p := predictive(t)
+	// A utilization-sensitive model: latency = (1+u)·(d² + d).
+	p.Exec[1] = regress.ExecModel{A2: 1, A3: 1, B2: 1, B3: 1}
+	// All processors busy: forecasts inflate, so more replicas are
+	// needed than at idle.
+	dIdle := deployment(t)
+	addedIdle, _ := p.Replicate(dIdle, 1, env(2000, 200*ms, make([]float64, 6)))
+	dBusy := deployment(t)
+	busy := []float64{0.8, 0.8, 0.8, 0.8, 0.8, 0.8}
+	addedBusy, _ := p.Replicate(dBusy, 1, env(2000, 200*ms, busy))
+	if addedBusy <= addedIdle {
+		t.Errorf("busy cluster added %d ≤ idle %d", addedBusy, addedIdle)
+	}
+}
+
+func TestPredictiveShouldShutdown(t *testing.T) {
+	p := predictive(t)
+	d := deployment(t)
+	d.AddReplica(1, 1)
+	d.AddReplica(1, 2)
+	// 300 items across 2 remaining replicas: share 150, d=1.5 →
+	// 3.75ms + ~2.3ms comm ≤ 160ms limit → releasable.
+	if !p.ShouldShutdown(d, 1, env(300, 200*ms, make([]float64, 6))) {
+		t.Error("refused an easily releasable replica")
+	}
+	// 3000 items across 2 remaining: share 1500, d=15 → 240ms > limit.
+	if p.ShouldShutdown(d, 1, env(3000, 200*ms, make([]float64, 6))) {
+		t.Error("released a replica the workload still needs")
+	}
+}
+
+func TestPredictiveShouldShutdownSingleReplica(t *testing.T) {
+	p := predictive(t)
+	d := deployment(t)
+	if p.ShouldShutdown(d, 1, env(10, 200*ms, make([]float64, 6))) {
+		t.Error("consented to removing the original process")
+	}
+}
+
+func TestNonPredictiveReplicatesAllBelowThreshold(t *testing.T) {
+	np, err := NewNonPredictive(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := deployment(t)
+	utils := []float64{0.5, 0.1, 0.19, 0.2, 0.05, 0.9}
+	added, ok := np.Replicate(d, 1, env(2000, 200*ms, utils))
+	// Processors 1, 2, 4 are below 20 % (3 is exactly at the threshold,
+	// 0 hosts the subtask already but is above anyway, 5 is busy).
+	if !ok || added != 3 {
+		t.Fatalf("added=%d ok=%v, want 3,true", added, ok)
+	}
+	for _, want := range []int{1, 2, 4} {
+		if !d.Has(1, want) {
+			t.Errorf("processor %d not used", want)
+		}
+	}
+	if d.Has(1, 3) || d.Has(1, 5) {
+		t.Error("threshold violated")
+	}
+}
+
+func TestNonPredictiveNothingAvailable(t *testing.T) {
+	np, _ := NewNonPredictive(0.2)
+	d := deployment(t)
+	utils := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	added, ok := np.Replicate(d, 1, env(2000, 200*ms, utils))
+	if added != 0 || ok {
+		t.Errorf("added=%d ok=%v, want 0,false", added, ok)
+	}
+}
+
+func TestNonPredictiveShouldShutdown(t *testing.T) {
+	np, _ := NewNonPredictive(0.2)
+	d := deployment(t)
+	e := env(10, 200*ms, make([]float64, 6))
+	if np.ShouldShutdown(d, 1, e) {
+		t.Error("consented with a single replica")
+	}
+	d.AddReplica(1, 3)
+	if !np.ShouldShutdown(d, 1, e) {
+		t.Error("heuristic must always consent with spare replicas")
+	}
+}
+
+func TestShutDownAReplica(t *testing.T) {
+	d := deployment(t)
+	d.AddReplica(1, 3)
+	d.AddReplica(1, 4)
+	if proc, ok := ShutDownAReplica(d, 1); !ok || proc != 4 {
+		t.Errorf("released %d,%v want 4,true", proc, ok)
+	}
+	if proc, ok := ShutDownAReplica(d, 1); !ok || proc != 3 {
+		t.Errorf("released %d,%v want 3,true", proc, ok)
+	}
+	if _, ok := ShutDownAReplica(d, 1); ok {
+		t.Error("released the original process")
+	}
+}
+
+func TestEnvironmentValidationPanics(t *testing.T) {
+	p := predictive(t)
+	d := deployment(t)
+	bad := []Environment{
+		{Procs: nil, Items: 1, TotalItems: 1, SubtaskDeadline: ms},
+		{Procs: StaticProcView{0}, Items: -1, TotalItems: 0, SubtaskDeadline: ms},
+		{Procs: StaticProcView{0}, Items: 5, TotalItems: 1, SubtaskDeadline: ms},
+		{Procs: StaticProcView{0}, Items: 1, TotalItems: 1, SubtaskDeadline: 0},
+		{Procs: StaticProcView{0}, Items: 1, TotalItems: 1, SubtaskDeadline: ms, SlackFraction: 1},
+	}
+	for i, e := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad environment %d did not panic", i)
+				}
+			}()
+			p.Replicate(d, 1, e)
+		}()
+	}
+}
+
+func TestStaticProcView(t *testing.T) {
+	v := StaticProcView{0.1, 0.2}
+	if v.NumProcessors() != 2 || v.Utilization(1) != 0.2 {
+		t.Error("StaticProcView accessors wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range proc did not panic")
+		}
+	}()
+	v.Utilization(2)
+}
+
+// Property: a longer deadline never needs more predictive replicas.
+func TestPropertyPredictiveMonotoneInDeadline(t *testing.T) {
+	f := func(items16 uint16, dl8 uint8) bool {
+		items := int(items16%5000) + 100
+		dl := sim.Time(int(dl8%200)+50) * ms
+		p := predictiveOrPanic()
+		d1 := freshDeployment()
+		a1, _ := p.Replicate(d1, 1, env(items, dl, make([]float64, 6)))
+		d2 := freshDeployment()
+		a2, _ := p.Replicate(d2, 1, env(items, dl+100*ms, make([]float64, 6)))
+		return a2 <= a1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after a SUCCESS return, popping the last replica makes
+// ShouldShutdown's forecast consistent — it only consents if the reduced
+// set still fits.
+func TestPropertyShutdownConsistency(t *testing.T) {
+	f := func(items16 uint16) bool {
+		items := int(items16%8000) + 500
+		p := predictiveOrPanic()
+		d := freshDeployment()
+		e := env(items, 300*ms, make([]float64, 6))
+		_, ok := p.Replicate(d, 1, e)
+		if !ok {
+			return true
+		}
+		if p.ShouldShutdown(d, 1, e) {
+			// Consent means k−1 replicas fit; verify directly.
+			reps := d.Replicas(1)
+			return p.forecastOK(d, 1, e, reps[:len(reps)-1])
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func freshDeployment() *task.Deployment {
+	d, err := task.NewDeployment(spec(), []int{0, 0, 1})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func predictiveOrPanic() *Predictive {
+	exec, comm := testModels()
+	p, err := NewPredictive(exec, comm)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestGreedyAddsOneReplica(t *testing.T) {
+	g := Greedy{}
+	if g.Name() != "greedy" {
+		t.Error("name wrong")
+	}
+	d := deployment(t)
+	utils := []float64{0.9, 0.5, 0.1, 0.7, 0.3, 0.6}
+	added, ok := g.Replicate(d, 1, env(2000, 200*ms, utils))
+	if !ok || added != 1 {
+		t.Fatalf("added=%d ok=%v, want exactly 1", added, ok)
+	}
+	if got := d.Replicas(1); got[len(got)-1] != 2 {
+		t.Errorf("greedy picked %v, want least-utilized processor 2", got)
+	}
+	// Exhausting the cluster: once every node hosts the stage, greedy
+	// reports failure.
+	for i := 0; i < 5; i++ {
+		g.Replicate(d, 1, env(2000, 200*ms, utils))
+	}
+	if added, ok := g.Replicate(d, 1, env(2000, 200*ms, utils)); ok || added != 0 {
+		t.Errorf("greedy on a full cluster: added=%d ok=%v", added, ok)
+	}
+}
+
+func TestGreedyShutdownConsents(t *testing.T) {
+	g := Greedy{}
+	d := deployment(t)
+	e := env(10, 200*ms, make([]float64, 6))
+	if g.ShouldShutdown(d, 1, e) {
+		t.Error("consented with one replica")
+	}
+	d.AddReplica(1, 3)
+	if !g.ShouldShutdown(d, 1, e) {
+		t.Error("refused with spare replicas")
+	}
+}
+
+func TestStaticNeverActs(t *testing.T) {
+	s := Static{}
+	if s.Name() != "static-max" {
+		t.Error("name wrong")
+	}
+	d := deployment(t)
+	if added, ok := s.Replicate(d, 1, env(2000, 200*ms, make([]float64, 6))); added != 0 || ok {
+		t.Error("static replicated")
+	}
+	d.AddReplica(1, 3)
+	if s.ShouldShutdown(d, 1, env(10, 200*ms, make([]float64, 6))) {
+		t.Error("static consented to shutdown")
+	}
+}
+
+func TestMaskedProcView(t *testing.T) {
+	v := MaskedProcView{Utils: []float64{0.1, 0.2, 0.3}, Down: []bool{false, true, false}}
+	if v.NumProcessors() != 3 {
+		t.Error("NumProcessors wrong")
+	}
+	if v.Utilization(2) != 0.3 {
+		t.Error("Utilization wrong")
+	}
+	if v.Alive(1) || !v.Alive(0) {
+		t.Error("Alive wrong")
+	}
+	noMask := MaskedProcView{Utils: []float64{0.5}}
+	if !noMask.Alive(0) {
+		t.Error("nil mask should mean alive")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range proc did not panic")
+		}
+	}()
+	v.Utilization(5)
+}
+
+func TestAllocatorsSkipDeadNodes(t *testing.T) {
+	utils := make([]float64, 6)
+	down := []bool{false, false, false, true, true, true}
+	e := Environment{
+		Procs:           MaskedProcView{Utils: utils, Down: down},
+		RawProcs:        MaskedProcView{Utils: utils, Down: down},
+		Items:           2000,
+		TotalItems:      2000,
+		SubtaskDeadline: 200 * ms,
+		SlackFraction:   0.2,
+	}
+	p := predictiveOrPanic()
+	d := freshDeployment() // stage 1 home on proc 0
+	p.Replicate(d, 1, e)
+	for _, proc := range d.Replicas(1) {
+		if down[proc] {
+			t.Fatalf("predictive placed a replica on dead node %d", proc)
+		}
+	}
+	np, _ := NewNonPredictive(0.2)
+	d2 := freshDeployment()
+	np.Replicate(d2, 1, e)
+	for _, proc := range d2.Replicas(1) {
+		if down[proc] {
+			t.Fatalf("non-predictive placed a replica on dead node %d", proc)
+		}
+	}
+	g := Greedy{}
+	d3 := freshDeployment()
+	g.Replicate(d3, 1, e)
+	for _, proc := range d3.Replicas(1) {
+		if down[proc] {
+			t.Fatalf("greedy placed a replica on dead node %d", proc)
+		}
+	}
+}
+
+func TestRawViewFallsBackToProcs(t *testing.T) {
+	np, _ := NewNonPredictive(0.5)
+	d := freshDeployment()
+	// No RawProcs supplied: the background view drives the threshold.
+	e := Environment{
+		Procs:           StaticProcView{0.9, 0.1, 0.1, 0.9, 0.9, 0.9},
+		Items:           100,
+		TotalItems:      100,
+		SubtaskDeadline: 200 * ms,
+		SlackFraction:   0.2,
+	}
+	added, _ := np.Replicate(d, 1, e)
+	if added != 2 {
+		t.Errorf("added %d with fallback view, want 2 (procs 1, 2)", added)
+	}
+}

@@ -1,0 +1,139 @@
+// Package metrics accumulates the evaluation quantities of the paper's
+// §5.2: missed-deadline ratio, average CPU utilization, average network
+// utilization, average number of subtask replicas, and the combined
+// performance metric
+//
+//	C = MD + U_CPU + U_Net + R̄/Max(R)
+//
+// where all four terms are percentages (the replica term is the fraction
+// of the maximum exploitable concurrency, which is bounded by the number
+// of processors).
+package metrics
+
+import "fmt"
+
+// RunMetrics summarizes one experiment run.
+type RunMetrics struct {
+	Periods        int     // instances released
+	Completed      int     // instances finished
+	Missed         int     // instances past their deadline
+	MeanCPUUtil    float64 // 0..1, averaged over nodes and periods
+	MeanNetUtil    float64 // 0..1, averaged over periods
+	MeanReplicas   float64 // mean replicas per replicable subtask, averaged over periods
+	MaxReplicas    float64 // Max(R): the processor count
+	Replications   int     // replicas added
+	Shutdowns      int     // replicas removed
+	AllocFailures  int     // Figure 5 FAILURE returns
+	UnfinishedWork int     // instances still running at drain time
+}
+
+// MissedPct returns the missed-deadline percentage MD. Instances that
+// never finished (work lost to node crashes) count as missed: a result
+// that never arrives is at least as bad as a late one.
+func (m RunMetrics) MissedPct() float64 {
+	if m.Completed >= m.Periods {
+		if m.Completed == 0 {
+			return 0
+		}
+		return 100 * float64(m.Missed) / float64(m.Completed)
+	}
+	lost := m.Periods - m.Completed
+	return 100 * float64(m.Missed+lost) / float64(m.Periods)
+}
+
+// CPUUtilPct returns U_CPU in percent.
+func (m RunMetrics) CPUUtilPct() float64 { return 100 * m.MeanCPUUtil }
+
+// NetUtilPct returns U_Net in percent.
+func (m RunMetrics) NetUtilPct() float64 { return 100 * m.MeanNetUtil }
+
+// ReplicaUsePct returns 100·R̄/Max(R).
+func (m RunMetrics) ReplicaUsePct() float64 {
+	if m.MaxReplicas == 0 {
+		return 0
+	}
+	return 100 * m.MeanReplicas / m.MaxReplicas
+}
+
+// Combined returns the paper's combined performance metric C (smaller is
+// better).
+func (m RunMetrics) Combined() float64 {
+	return m.MissedPct() + m.CPUUtilPct() + m.NetUtilPct() + m.ReplicaUsePct()
+}
+
+func (m RunMetrics) String() string {
+	return fmt.Sprintf("MD=%.1f%% CPU=%.1f%% Net=%.1f%% R̄=%.2f (%.1f%%) C=%.1f",
+		m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.ReplicaUsePct(), m.Combined())
+}
+
+// Collector accumulates per-period observations into RunMetrics.
+type Collector struct {
+	maxReplicas float64
+
+	periods      int
+	completed    int
+	missed       int
+	cpuSum       float64
+	netSum       float64
+	replicaSum   float64
+	samples      int
+	replications int
+	shutdowns    int
+	failures     int
+}
+
+// NewCollector returns a collector; maxReplicas is Max(R), normally the
+// processor count.
+func NewCollector(maxReplicas float64) *Collector {
+	if maxReplicas < 0 {
+		panic(fmt.Sprintf("metrics: negative max replicas %v", maxReplicas))
+	}
+	return &Collector{maxReplicas: maxReplicas}
+}
+
+// ObservePeriodStart records the utilization and replica state sampled at
+// one period boundary.
+func (c *Collector) ObservePeriodStart(cpuUtil, netUtil, meanReplicas float64) {
+	c.periods++
+	c.samples++
+	c.cpuSum += cpuUtil
+	c.netSum += netUtil
+	c.replicaSum += meanReplicas
+}
+
+// ObserveCompletion records a finished instance.
+func (c *Collector) ObserveCompletion(missed bool) {
+	c.completed++
+	if missed {
+		c.missed++
+	}
+}
+
+// CountReplications adds n replica additions.
+func (c *Collector) CountReplications(n int) { c.replications += n }
+
+// CountShutdown adds one replica removal.
+func (c *Collector) CountShutdown() { c.shutdowns++ }
+
+// CountAllocFailure records a Figure 5 FAILURE return.
+func (c *Collector) CountAllocFailure() { c.failures++ }
+
+// Finish produces the run summary.
+func (c *Collector) Finish() RunMetrics {
+	m := RunMetrics{
+		Periods:        c.periods,
+		Completed:      c.completed,
+		Missed:         c.missed,
+		MaxReplicas:    c.maxReplicas,
+		Replications:   c.replications,
+		Shutdowns:      c.shutdowns,
+		AllocFailures:  c.failures,
+		UnfinishedWork: c.periods - c.completed,
+	}
+	if c.samples > 0 {
+		m.MeanCPUUtil = c.cpuSum / float64(c.samples)
+		m.MeanNetUtil = c.netSum / float64(c.samples)
+		m.MeanReplicas = c.replicaSum / float64(c.samples)
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyCollector(t *testing.T) {
+	m := NewCollector(6).Finish()
+	if m.MissedPct() != 0 || m.Combined() != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestNegativeMaxReplicasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative max replicas did not panic")
+		}
+	}()
+	NewCollector(-1)
+}
+
+func TestCollectorAveraging(t *testing.T) {
+	c := NewCollector(6)
+	c.ObservePeriodStart(0.4, 0.2, 2)
+	c.ObservePeriodStart(0.6, 0.4, 4)
+	c.ObserveCompletion(false)
+	c.ObserveCompletion(true)
+	c.ObserveCompletion(false)
+	c.ObserveCompletion(true)
+	c.CountReplications(3)
+	c.CountShutdown()
+	c.CountAllocFailure()
+	m := c.Finish()
+
+	if m.Periods != 2 || m.Completed != 4 || m.Missed != 2 {
+		t.Errorf("counts = %+v", m)
+	}
+	if m.MissedPct() != 50 {
+		t.Errorf("MD = %v, want 50%%", m.MissedPct())
+	}
+	if m.MeanCPUUtil != 0.5 || m.CPUUtilPct() != 50 {
+		t.Errorf("CPU = %v", m.MeanCPUUtil)
+	}
+	if math.Abs(m.MeanNetUtil-0.3) > 1e-12 {
+		t.Errorf("Net = %v", m.MeanNetUtil)
+	}
+	if m.MeanReplicas != 3 {
+		t.Errorf("R̄ = %v", m.MeanReplicas)
+	}
+	if m.ReplicaUsePct() != 50 {
+		t.Errorf("replica use = %v%%", m.ReplicaUsePct())
+	}
+	// C = 50 + 50 + 30 + 50.
+	if math.Abs(m.Combined()-180) > 1e-9 {
+		t.Errorf("C = %v, want 180", m.Combined())
+	}
+	if m.Replications != 3 || m.Shutdowns != 1 || m.AllocFailures != 1 {
+		t.Errorf("action counts = %+v", m)
+	}
+	if m.UnfinishedWork != -2 {
+		// 2 periods, 4 completions: synthetic, just checks the formula.
+		t.Errorf("UnfinishedWork = %d", m.UnfinishedWork)
+	}
+}
+
+func TestZeroMaxReplicas(t *testing.T) {
+	c := NewCollector(0)
+	c.ObservePeriodStart(0, 0, 3)
+	if got := c.Finish().ReplicaUsePct(); got != 0 {
+		t.Errorf("replica use with Max(R)=0 = %v", got)
+	}
+}
+
+// Property: the combined metric is the exact sum of its four component
+// percentages and is monotone in each.
+func TestPropertyCombinedComposition(t *testing.T) {
+	f := func(missed8, total8 uint8, cpu, net, reps float64) bool {
+		total := int(total8%50) + 1
+		missed := int(missed8) % (total + 1)
+		cpu = math.Abs(math.Mod(cpu, 1))
+		net = math.Abs(math.Mod(net, 1))
+		reps = math.Abs(math.Mod(reps, 6))
+		if math.IsNaN(cpu) || math.IsNaN(net) || math.IsNaN(reps) {
+			return true
+		}
+		c := NewCollector(6)
+		c.ObservePeriodStart(cpu, net, reps)
+		for i := 0; i < total; i++ {
+			c.ObserveCompletion(i < missed)
+		}
+		m := c.Finish()
+		want := m.MissedPct() + 100*cpu + 100*net + 100*reps/6
+		return math.Abs(m.Combined()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

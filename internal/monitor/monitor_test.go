@@ -1,0 +1,234 @@
+package monitor
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/deadline"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+const ms = sim.Millisecond
+
+func demand(items int, _ *rand.Rand) sim.Time { return sim.Time(items) * sim.Microsecond }
+
+func spec() task.Spec {
+	return task.Spec{
+		Name:     "T",
+		Period:   sim.Second,
+		Deadline: 990 * ms,
+		Subtasks: []task.SubtaskSpec{
+			{Name: "a", Demand: demand, OutBytesPerItem: 80},
+			{Name: "b", Replicable: true, Demand: demand, OutBytesPerItem: 80},
+			{Name: "c", Replicable: true, Demand: demand},
+		},
+	}
+}
+
+func assignment() deadline.Assignment {
+	return deadline.Assignment{
+		Subtask: []sim.Time{100 * ms, 200 * ms, 300 * ms},
+		Message: []sim.Time{50 * ms, 50 * ms, 0},
+	}
+}
+
+func newMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	m, err := New(DefaultConfig(), spec(), assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// record builds a PeriodRecord with the given exec latencies and replica
+// counts per stage.
+func record(lat []sim.Time, replicas []int) *task.PeriodRecord {
+	rec := &task.PeriodRecord{Period: 1, Items: 100, Stages: make([]task.StageObservation, len(lat))}
+	var t sim.Time
+	for i := range lat {
+		rec.Stages[i] = task.StageObservation{
+			ReadyAt:     t,
+			DoneAt:      t + lat[i],
+			DeliveredAt: t + lat[i],
+			Replicas:    replicas[i],
+		}
+		t += lat[i]
+	}
+	rec.CompletedAt = t
+	rec.Deadline = 990 * ms
+	return rec
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]Config{
+		"negative slack":      {SlackFraction: -0.1, HighSlackFraction: 0.6},
+		"slack ≥ 1":           {SlackFraction: 1, HighSlackFraction: 0.6},
+		"high below slack":    {SlackFraction: 0.5, HighSlackFraction: 0.4},
+		"high slack too high": {SlackFraction: 0.2, HighSlackFraction: 1},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg, spec(), assignment()); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := New(DefaultConfig(), spec(), deadline.Assignment{Subtask: []sim.Time{ms}}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	bad := spec()
+	bad.Name = ""
+	if _, err := New(DefaultConfig(), bad, assignment()); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestHealthyPeriodNoCandidates(t *testing.T) {
+	m := newMonitor(t)
+	// Latencies at 50-60 % of the subtask deadlines: inside the required
+	// slack, above the very-high-slack mark.
+	a := m.Analyze(record([]sim.Time{60 * ms, 120 * ms, 180 * ms}, []int{1, 1, 1}))
+	if len(a.Replicate) != 0 || len(a.Shutdown) != 0 {
+		t.Errorf("analysis = %+v, want empty", a)
+	}
+}
+
+func TestSlackErosionFlagsReplication(t *testing.T) {
+	m := newMonitor(t)
+	// Stage 1 (dl 200ms, required ≤160ms) at 170ms → candidate.
+	a := m.Analyze(record([]sim.Time{60 * ms, 170 * ms, 180 * ms}, []int{1, 1, 1}))
+	if len(a.Replicate) != 1 || a.Replicate[0] != 1 {
+		t.Errorf("replicate = %v, want [1]", a.Replicate)
+	}
+}
+
+func TestOutrightMissFlagsReplication(t *testing.T) {
+	m := newMonitor(t)
+	a := m.Analyze(record([]sim.Time{60 * ms, 500 * ms, 180 * ms}, []int{1, 2, 1}))
+	if len(a.Replicate) != 1 || a.Replicate[0] != 1 {
+		t.Errorf("replicate = %v, want [1]", a.Replicate)
+	}
+}
+
+func TestNonReplicableNeverFlagged(t *testing.T) {
+	m := newMonitor(t)
+	// Stage 0 misses massively but is not replicable.
+	a := m.Analyze(record([]sim.Time{400 * ms, 120 * ms, 180 * ms}, []int{1, 1, 1}))
+	if len(a.Replicate) != 0 {
+		t.Errorf("non-replicable stage flagged: %v", a.Replicate)
+	}
+}
+
+func TestVeryHighSlackFlagsShutdown(t *testing.T) {
+	m := newMonitor(t)
+	// Stage 2 (dl 300ms) at 50ms < 40 % of dl, with 3 replicas.
+	a := m.Analyze(record([]sim.Time{60 * ms, 120 * ms, 50 * ms}, []int{1, 1, 3}))
+	if len(a.Shutdown) != 1 || a.Shutdown[0] != 2 {
+		t.Errorf("shutdown = %v, want [2]", a.Shutdown)
+	}
+}
+
+func TestHighSlackWithSingleReplicaNotFlagged(t *testing.T) {
+	m := newMonitor(t)
+	a := m.Analyze(record([]sim.Time{60 * ms, 120 * ms, 50 * ms}, []int{1, 1, 1}))
+	if len(a.Shutdown) != 0 {
+		t.Errorf("shutdown with one replica: %v", a.Shutdown)
+	}
+}
+
+func TestBoundaryIsNotErosion(t *testing.T) {
+	m := newMonitor(t)
+	// Exactly at dl − sl: not a candidate (strictly greater required).
+	a := m.Analyze(record([]sim.Time{60 * ms, 160 * ms, 180 * ms}, []int{1, 1, 1}))
+	if len(a.Replicate) != 0 {
+		t.Errorf("boundary latency flagged: %v", a.Replicate)
+	}
+}
+
+func TestAnalyzeNilRecord(t *testing.T) {
+	m := newMonitor(t)
+	a := m.Analyze(nil)
+	if len(a.Replicate) != 0 || len(a.Shutdown) != 0 {
+		t.Error("nil record produced candidates")
+	}
+}
+
+func TestAnalyzeMismatchedRecordPanics(t *testing.T) {
+	m := newMonitor(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched record did not panic")
+		}
+	}()
+	m.Analyze(&task.PeriodRecord{Stages: make([]task.StageObservation, 1)})
+}
+
+func TestSetAssignment(t *testing.T) {
+	m := newMonitor(t)
+	a := assignment()
+	a.Subtask[1] = 500 * ms
+	m.SetAssignment(a)
+	if m.SubtaskDeadline(1) != 500*ms {
+		t.Errorf("SubtaskDeadline(1) = %v", m.SubtaskDeadline(1))
+	}
+	if m.Assignment().Subtask[1] != 500*ms {
+		t.Error("Assignment not updated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short SetAssignment did not panic")
+		}
+	}()
+	m.SetAssignment(deadline.Assignment{Subtask: []sim.Time{ms}})
+}
+
+func TestConfigAccessorAndDefaults(t *testing.T) {
+	m := newMonitor(t)
+	if m.Config() != DefaultConfig() {
+		t.Error("Config accessor wrong")
+	}
+	d := DefaultConfig()
+	if d.SlackFraction != 0.2 {
+		t.Errorf("paper's sl = 0.2·dl, got %v", d.SlackFraction)
+	}
+}
+
+func TestSmoothingWindowDampsSpikes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SmoothingWindow = 3
+	m, err := New(cfg, spec(), assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two healthy periods then one spike at stage 1 (dl 200ms): the
+	// 3-period mean (120+120+190)/3 ≈ 143ms stays inside the band.
+	m.Analyze(record([]sim.Time{60 * ms, 120 * ms, 180 * ms}, []int{1, 1, 1}))
+	m.Analyze(record([]sim.Time{60 * ms, 120 * ms, 180 * ms}, []int{1, 1, 1}))
+	a := m.Analyze(record([]sim.Time{60 * ms, 190 * ms, 180 * ms}, []int{1, 1, 1}))
+	if len(a.Replicate) != 0 {
+		t.Errorf("one-period spike flagged despite smoothing: %v", a.Replicate)
+	}
+	// Persistent erosion still flags once the mean crosses the band.
+	m.Analyze(record([]sim.Time{60 * ms, 190 * ms, 180 * ms}, []int{1, 1, 1}))
+	a = m.Analyze(record([]sim.Time{60 * ms, 190 * ms, 180 * ms}, []int{1, 1, 1}))
+	if len(a.Replicate) != 1 || a.Replicate[0] != 1 {
+		t.Errorf("persistent erosion not flagged: %v", a.Replicate)
+	}
+}
+
+func TestSmoothingWindowValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SmoothingWindow = -1
+	if _, err := New(cfg, spec(), assignment()); err == nil {
+		t.Error("negative smoothing window accepted")
+	}
+}
+
+func TestDefaultSmoothingIsPerPeriod(t *testing.T) {
+	m := newMonitor(t)
+	// A single spike flags immediately with the default window of 1.
+	a := m.Analyze(record([]sim.Time{60 * ms, 190 * ms, 180 * ms}, []int{1, 1, 1}))
+	if len(a.Replicate) != 1 {
+		t.Errorf("per-period monitoring missed a spike: %v", a.Replicate)
+	}
+}

@@ -1,0 +1,232 @@
+// Package network models the shared communication medium of the paper's
+// system (§3, item 12; Table 1): the distributed processors share a single
+// Ethernet segment (IEEE 802.3 flavour) at 100 Mbit/s.
+//
+// The medium is half-duplex: transmissions serialize in FIFO order across
+// all senders, so queueing ("buffer") delay emerges from contention — the
+// quantity the paper's eq. (5) models as a linear function of the total
+// periodic workload. Messages between subtasks co-located on one node
+// bypass the wire at a small fixed local-delivery cost.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config holds segment parameters. The defaults mirror Table 1 plus
+// standard Ethernet framing.
+type Config struct {
+	// BandwidthBps is the link transmission speed in bits per second.
+	BandwidthBps int64
+	// MTU is the per-frame payload capacity in bytes.
+	MTU int
+	// FrameOverheadBytes is per-frame framing cost (preamble, header,
+	// FCS, inter-frame gap).
+	FrameOverheadBytes int
+	// PerMessageOverheadBytes models transport/stack cost paid once per
+	// message (connection headers, acknowledgements). It is what makes a
+	// scatter of many small messages more expensive than one large one.
+	PerMessageOverheadBytes int
+	// LocalDelay is the fixed delivery latency for same-node messages.
+	LocalDelay sim.Time
+}
+
+// DefaultConfig returns the Table 1 segment: 100 Mbit/s shared Ethernet.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBps:            100_000_000,
+		MTU:                     1500,
+		FrameOverheadBytes:      38,
+		PerMessageOverheadBytes: 2048,
+		LocalDelay:              20 * sim.Microsecond,
+	}
+}
+
+// Message is one inter-subtask transfer.
+type Message struct {
+	From, To     int // node ids
+	PayloadBytes int64
+	Meta         any
+	OnDeliver    func(m *Message)
+
+	EnqueuedAt  sim.Time
+	SentAt      sim.Time // transmission start (equals EnqueuedAt for local)
+	DeliveredAt sim.Time
+	delivered   bool
+}
+
+// Delivered reports whether the message has reached its destination.
+func (m *Message) Delivered() bool { return m.delivered }
+
+// BufferDelay returns the time the message waited before transmission
+// began — the paper's D_buf. It panics if the message is undelivered.
+func (m *Message) BufferDelay() sim.Time {
+	if !m.delivered {
+		panic("network: BufferDelay of undelivered message")
+	}
+	return m.SentAt - m.EnqueuedAt
+}
+
+// TotalDelay returns enqueue-to-delivery latency — the paper's ecd.
+func (m *Message) TotalDelay() sim.Time {
+	if !m.delivered {
+		panic("network: TotalDelay of undelivered message")
+	}
+	return m.DeliveredAt - m.EnqueuedAt
+}
+
+// Segment is the shared medium.
+type Segment struct {
+	eng *sim.Engine
+	cfg Config
+
+	queue []*Message
+	busy  bool
+
+	cumBusy    sim.Time
+	busyStart  sim.Time
+	sent       uint64
+	wireBytes  int64
+	localSends uint64
+}
+
+// NewSegment returns a segment with the given configuration.
+func NewSegment(eng *sim.Engine, cfg Config) *Segment {
+	if cfg.BandwidthBps <= 0 {
+		panic(fmt.Sprintf("network: non-positive bandwidth %d", cfg.BandwidthBps))
+	}
+	if cfg.MTU <= 0 {
+		panic(fmt.Sprintf("network: non-positive MTU %d", cfg.MTU))
+	}
+	if cfg.FrameOverheadBytes < 0 || cfg.PerMessageOverheadBytes < 0 || cfg.LocalDelay < 0 {
+		panic("network: negative overhead configuration")
+	}
+	return &Segment{eng: eng, cfg: cfg}
+}
+
+// Config returns the segment configuration.
+func (s *Segment) Config() Config { return s.cfg }
+
+// WireBytes returns the bytes a message of the given payload occupies on
+// the wire, including framing and per-message overhead.
+func (s *Segment) WireBytes(payload int64) int64 {
+	if payload < 0 {
+		panic(fmt.Sprintf("network: negative payload %d", payload))
+	}
+	frames := (payload + int64(s.cfg.MTU) - 1) / int64(s.cfg.MTU)
+	if frames == 0 {
+		frames = 1
+	}
+	return payload + frames*int64(s.cfg.FrameOverheadBytes) + int64(s.cfg.PerMessageOverheadBytes)
+}
+
+// TxTime returns the pure transmission time for the given payload — the
+// paper's D_trans = d/ls, with framing included.
+func (s *Segment) TxTime(payload int64) sim.Time {
+	bits := s.WireBytes(payload) * 8
+	return sim.Time(float64(bits) / float64(s.cfg.BandwidthBps) * float64(sim.Second))
+}
+
+// Send enqueues a message for delivery. Same-node messages bypass the
+// medium entirely.
+func (s *Segment) Send(m *Message) {
+	if m.PayloadBytes < 0 {
+		panic(fmt.Sprintf("network: message with negative payload %d", m.PayloadBytes))
+	}
+	now := s.eng.Now()
+	m.EnqueuedAt = now
+	if m.From == m.To {
+		s.localSends++
+		m.SentAt = now
+		s.eng.After(s.cfg.LocalDelay, func() {
+			m.DeliveredAt = s.eng.Now()
+			m.delivered = true
+			if m.OnDeliver != nil {
+				m.OnDeliver(m)
+			}
+		})
+		return
+	}
+	s.queue = append(s.queue, m)
+	if !s.busy {
+		s.transmitNext()
+	}
+}
+
+func (s *Segment) transmitNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	m := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	s.busyStart = s.eng.Now()
+	m.SentAt = s.eng.Now()
+	tx := s.TxTime(m.PayloadBytes)
+	s.eng.After(tx, func() {
+		s.cumBusy += tx
+		s.sent++
+		s.wireBytes += s.WireBytes(m.PayloadBytes)
+		m.DeliveredAt = s.eng.Now()
+		m.delivered = true
+		s.transmitNext()
+		if m.OnDeliver != nil {
+			m.OnDeliver(m)
+		}
+	})
+}
+
+// QueueLen returns the number of messages waiting (excluding the one in
+// flight).
+func (s *Segment) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether a transmission is in progress.
+func (s *Segment) Busy() bool { return s.busy }
+
+// Sent returns the number of messages fully transmitted over the wire.
+func (s *Segment) Sent() uint64 { return s.sent }
+
+// LocalSends returns the number of same-node deliveries.
+func (s *Segment) LocalSends() uint64 { return s.localSends }
+
+// TotalWireBytes returns cumulative bytes transmitted, with overheads.
+func (s *Segment) TotalWireBytes() int64 { return s.wireBytes }
+
+// BusyTime returns cumulative medium-busy time including the in-flight
+// transmission.
+func (s *Segment) BusyTime() sim.Time {
+	t := s.cumBusy
+	if s.busy {
+		t += s.eng.Now() - s.busyStart
+	}
+	return t
+}
+
+// Meter samples segment utilization over successive intervals.
+type Meter struct {
+	s        *Segment
+	lastBusy sim.Time
+	lastAt   sim.Time
+}
+
+// NewMeter returns a meter anchored at the current time.
+func NewMeter(s *Segment) *Meter {
+	return &Meter{s: s, lastBusy: s.BusyTime(), lastAt: s.eng.Now()}
+}
+
+// Sample returns the utilization (0..1) since the previous Sample and
+// re-anchors the meter. A zero-length interval yields 0.
+func (m *Meter) Sample() float64 {
+	now := m.s.eng.Now()
+	busy := m.s.BusyTime()
+	dt := now - m.lastAt
+	db := busy - m.lastBusy
+	m.lastAt, m.lastBusy = now, busy
+	if dt <= 0 {
+		return 0
+	}
+	return float64(db) / float64(dt)
+}

@@ -1,0 +1,242 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newSeg(t *testing.T) (*sim.Engine, *Segment) {
+	t.Helper()
+	eng := sim.NewEngine()
+	return eng, NewSegment(eng, DefaultConfig())
+}
+
+func TestWireBytes(t *testing.T) {
+	_, s := newSeg(t)
+	cfg := s.Config()
+	// One-frame message.
+	if got := s.WireBytes(100); got != 100+int64(cfg.FrameOverheadBytes)+int64(cfg.PerMessageOverheadBytes) {
+		t.Errorf("WireBytes(100) = %d", got)
+	}
+	// Exactly one MTU → one frame.
+	if got := s.WireBytes(1500); got != 1500+38+2048 {
+		t.Errorf("WireBytes(1500) = %d", got)
+	}
+	// One byte over → two frames.
+	if got := s.WireBytes(1501); got != 1501+2*38+2048 {
+		t.Errorf("WireBytes(1501) = %d", got)
+	}
+	// Empty payload still burns a frame.
+	if got := s.WireBytes(0); got != 38+2048 {
+		t.Errorf("WireBytes(0) = %d", got)
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	_, s := newSeg(t)
+	// 100 Mbit/s = 12.5 bytes/µs; 2500 wire bytes → 200µs.
+	payload := int64(2500 - 38 - 2048)
+	if got := s.TxTime(payload); got != 200*sim.Microsecond {
+		t.Errorf("TxTime = %v, want 200µs", got)
+	}
+}
+
+func TestSingleMessageDelivery(t *testing.T) {
+	eng, s := newSeg(t)
+	m := &Message{From: 0, To: 1, PayloadBytes: 8000}
+	var deliveredAt sim.Time
+	m.OnDeliver = func(m *Message) { deliveredAt = m.DeliveredAt }
+	s.Send(m)
+	eng.Run()
+	if !m.Delivered() {
+		t.Fatal("message not delivered")
+	}
+	if want := s.TxTime(8000); deliveredAt != want {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if m.BufferDelay() != 0 {
+		t.Errorf("buffer delay = %v on idle medium", m.BufferDelay())
+	}
+	if m.TotalDelay() != deliveredAt {
+		t.Errorf("TotalDelay = %v", m.TotalDelay())
+	}
+	if s.Sent() != 1 {
+		t.Errorf("Sent = %d", s.Sent())
+	}
+}
+
+func TestQueueingDelayEmergesFromContention(t *testing.T) {
+	eng, s := newSeg(t)
+	m1 := &Message{From: 0, To: 1, PayloadBytes: 8000}
+	m2 := &Message{From: 2, To: 3, PayloadBytes: 8000}
+	s.Send(m1)
+	s.Send(m2)
+	eng.Run()
+	tx := s.TxTime(8000)
+	if m2.BufferDelay() != tx {
+		t.Errorf("second message buffer delay = %v, want %v (one tx time)", m2.BufferDelay(), tx)
+	}
+	if m2.DeliveredAt != 2*tx {
+		t.Errorf("second message delivered at %v, want %v", m2.DeliveredAt, 2*tx)
+	}
+}
+
+func TestFIFOAcrossSenders(t *testing.T) {
+	eng, s := newSeg(t)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Send(&Message{From: i, To: 5, PayloadBytes: 100,
+			OnDeliver: func(*Message) { order = append(order, i) }})
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delivery order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestLocalDeliveryBypassesWire(t *testing.T) {
+	eng, s := newSeg(t)
+	m := &Message{From: 2, To: 2, PayloadBytes: 1 << 20}
+	s.Send(m)
+	eng.Run()
+	if m.TotalDelay() != s.Config().LocalDelay {
+		t.Errorf("local delivery took %v, want %v", m.TotalDelay(), s.Config().LocalDelay)
+	}
+	if s.BusyTime() != 0 {
+		t.Errorf("local delivery consumed wire time %v", s.BusyTime())
+	}
+	if s.LocalSends() != 1 || s.Sent() != 0 {
+		t.Errorf("counters: local=%d wire=%d", s.LocalSends(), s.Sent())
+	}
+}
+
+func TestBusyTimeAndMeter(t *testing.T) {
+	eng, s := newSeg(t)
+	payload := int64(2500 - 38 - 2048) // 200µs on the wire
+	s.Send(&Message{From: 0, To: 1, PayloadBytes: payload})
+	meter := NewMeter(s)
+	eng.RunUntil(400 * sim.Microsecond)
+	if got := meter.Sample(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if got := meter.Sample(); got != 0 {
+		t.Errorf("zero-interval sample = %v", got)
+	}
+}
+
+func TestBusyTimeIncludesInFlight(t *testing.T) {
+	eng, s := newSeg(t)
+	payload := int64(2500 - 38 - 2048) // 200µs on the wire
+	s.Send(&Message{From: 0, To: 1, PayloadBytes: payload})
+	checked := false
+	eng.Schedule(50*sim.Microsecond, func() {
+		if s.BusyTime() != 50*sim.Microsecond {
+			t.Errorf("mid-flight BusyTime = %v", s.BusyTime())
+		}
+		checked = true
+	})
+	eng.Run()
+	if !checked {
+		t.Fatal("mid-flight check did not run")
+	}
+}
+
+func TestUndeliveredAccessorsPanic(t *testing.T) {
+	m := &Message{}
+	defer func() {
+		if recover() == nil {
+			t.Error("BufferDelay of undelivered message did not panic")
+		}
+	}()
+	m.BufferDelay()
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	for name, cfg := range map[string]Config{
+		"bandwidth": {BandwidthBps: 0, MTU: 1500},
+		"mtu":       {BandwidthBps: 1, MTU: 0},
+		"overhead":  {BandwidthBps: 1, MTU: 1, FrameOverheadBytes: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad %s config did not panic", name)
+				}
+			}()
+			NewSegment(eng, cfg)
+		}()
+	}
+}
+
+func TestNegativePayloadPanics(t *testing.T) {
+	_, s := newSeg(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative payload did not panic")
+		}
+	}()
+	s.Send(&Message{PayloadBytes: -1, From: 0, To: 1})
+}
+
+// Property: total medium busy time equals the sum of per-message tx times,
+// and every message is delivered exactly when the preceding one finishes
+// plus its own tx time (work-conserving FIFO).
+func TestPropertyWorkConservingFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := sim.NewEngine()
+		s := NewSegment(eng, DefaultConfig())
+		msgs := make([]*Message, len(sizes))
+		var wantBusy sim.Time
+		for i, sz := range sizes {
+			msgs[i] = &Message{From: i % 4, To: (i % 4) + 1, PayloadBytes: int64(sz)}
+			wantBusy += s.TxTime(int64(sz))
+			s.Send(msgs[i])
+		}
+		eng.Run()
+		if s.BusyTime() != wantBusy {
+			return false
+		}
+		var prevDone sim.Time
+		for _, m := range msgs {
+			if !m.Delivered() || m.SentAt != prevDone {
+				return false
+			}
+			prevDone = m.DeliveredAt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: buffer delay grows (weakly) with position for simultaneous
+// sends — the congestion behaviour eq. (5) linearizes.
+func TestPropertyBufferDelayMonotoneInBacklog(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8%20) + 2
+		eng := sim.NewEngine()
+		s := NewSegment(eng, DefaultConfig())
+		msgs := make([]*Message, n)
+		for i := range msgs {
+			msgs[i] = &Message{From: 0, To: 1, PayloadBytes: 4000}
+			s.Send(msgs[i])
+		}
+		eng.Run()
+		for i := 1; i < n; i++ {
+			if msgs[i].BufferDelay() < msgs[i-1].BufferDelay() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package profile implements the paper's application-profiling step
+// (§4.2.1.1–4.2.1.2): it measures subtask execution latencies over a grid
+// of data sizes and CPU utilizations on a simulated node, and message
+// buffer delays over a range of periodic workloads on a simulated segment.
+// The samples feed regress.FitExecModel / regress.FitBufferSlope to
+// produce the regression equations the predictive algorithm consumes.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/network"
+	"repro/internal/regress"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// ExecGrid is the (utilization × data size) sampling grid, with Reps
+// repeated measurements per point.
+type ExecGrid struct {
+	Utils []float64
+	Items []int
+	Reps  int
+	// Discipline selects the measured node's CPU scheduler; the zero
+	// value is Table 1's round-robin.
+	Discipline cpu.Discipline
+}
+
+// DefaultExecGrid mirrors the paper's Figures 2–4: utilizations 0–80 %
+// and data sizes up to 7 500 tracks (25 units of 300).
+func DefaultExecGrid() ExecGrid {
+	g := ExecGrid{
+		Utils: []float64{0, 0.2, 0.4, 0.6, 0.8},
+		Reps:  3,
+	}
+	for units := 1; units <= 25; units += 3 {
+		g.Items = append(g.Items, units*300)
+	}
+	return g
+}
+
+func (g ExecGrid) validate() error {
+	if len(g.Utils) == 0 || len(g.Items) == 0 || g.Reps < 1 {
+		return fmt.Errorf("profile: grid needs utils, items and ≥1 rep")
+	}
+	for _, u := range g.Utils {
+		if u < 0 || u > 0.9 {
+			return fmt.Errorf("profile: grid utilization %v out of [0,0.9]", u)
+		}
+	}
+	for _, it := range g.Items {
+		if it <= 0 {
+			return fmt.Errorf("profile: grid item count %d not positive", it)
+		}
+	}
+	return nil
+}
+
+// warm lets the background load reach steady state before measuring.
+const warm = 500 * sim.Millisecond
+
+// bgQuantum is the background duty-cycle granularity; it is much smaller
+// than the measured latencies so contention is smooth.
+const bgQuantum = 4 * sim.Millisecond
+
+// ExecSamples measures the latency of one subtask demand function at
+// every grid point. Each measurement runs on a fresh single-node system
+// with a background load pinned at the grid utilization, exactly like
+// profiling the benchmark program on an otherwise-loaded host.
+func ExecSamples(demand task.DemandFunc, grid ExecGrid, seed uint64) ([]regress.ExecSample, error) {
+	if demand == nil {
+		return nil, fmt.Errorf("profile: nil demand function")
+	}
+	if err := grid.validate(); err != nil {
+		return nil, err
+	}
+	var out []regress.ExecSample
+	var stream uint64
+	for _, u := range grid.Utils {
+		for _, items := range grid.Items {
+			for rep := 0; rep < grid.Reps; rep++ {
+				stream++
+				lat, err := measureOnce(demand, items, u, grid.Discipline, seed, stream)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, regress.ExecSample{Items: items, Util: u, Latency: lat})
+			}
+		}
+	}
+	return out, nil
+}
+
+func measureOnce(demand task.DemandFunc, items int, util float64, disc cpu.Discipline, seed, stream uint64) (sim.Time, error) {
+	eng := sim.NewEngine()
+	proc := cpu.NewScheduler(eng, 0, cpu.DefaultSlice, disc)
+	rng := sim.NewRand(seed, stream)
+	bg := cpu.NewBackgroundLoad(eng, proc, bgQuantum, sim.NewRand(seed, stream+1_000_000))
+	bg.SetTarget(util)
+	bg.SetJitter(0.1)
+	bg.Start()
+
+	var done sim.Time
+	var submitted sim.Time
+	// A small random phase offset decorrelates the measurement from the
+	// background duty cycle.
+	offset := sim.Time(rng.Uint64() % uint64(bgQuantum))
+	eng.Schedule(warm+offset, func() {
+		submitted = eng.Now()
+		proc.Submit(&cpu.Job{
+			Name:       "probe",
+			Demand:     demand(items, rng),
+			OnComplete: func(at sim.Time) { done = at; eng.Stop() },
+		})
+	})
+	eng.RunUntil(warm + 120*sim.Second)
+	if done == 0 {
+		return 0, fmt.Errorf("profile: probe did not finish at items=%d util=%v", items, util)
+	}
+	return done - submitted, nil
+}
+
+// BuildExecModel profiles a demand function and fits eq. (3).
+func BuildExecModel(demand task.DemandFunc, grid ExecGrid, seed uint64) (regress.ExecModel, regress.FitQuality, error) {
+	samples, err := ExecSamples(demand, grid, seed)
+	if err != nil {
+		return regress.ExecModel{}, regress.FitQuality{}, err
+	}
+	return regress.FitExecModel(samples)
+}
+
+// CommGrid is the workload range sampled for the buffer-delay model.
+type CommGrid struct {
+	// TotalItems are the per-period total workloads to sample.
+	TotalItems []int
+	// Senders is how many messages the per-period burst is split into.
+	Senders int
+	// Periods is how many periods to observe per workload.
+	Periods int
+	// BytesPerItem sizes message payloads.
+	BytesPerItem int
+	// Period is the data arrival period.
+	Period sim.Time
+}
+
+// DefaultCommGrid mirrors Table 1: 80-byte tracks, 1 s period, bursts
+// split across 5 senders.
+func DefaultCommGrid() CommGrid {
+	g := CommGrid{Senders: 5, Periods: 5, BytesPerItem: 80, Period: sim.Second}
+	for _, units := range []int{5, 20, 50, 80, 110, 150} {
+		g.TotalItems = append(g.TotalItems, units*100)
+	}
+	return g
+}
+
+func (g CommGrid) validate() error {
+	if len(g.TotalItems) == 0 || g.Senders < 1 || g.Periods < 1 || g.BytesPerItem < 1 || g.Period <= 0 {
+		return fmt.Errorf("profile: invalid comm grid %+v", g)
+	}
+	return nil
+}
+
+// CommSamples measures mean per-period buffer delay on a segment carrying
+// the given total workloads. Each period the workload is scattered as
+// simultaneous messages from distinct senders — the worst-case burst the
+// pipeline produces at a stage boundary — and the mean queueing delay is
+// recorded (eq. 5's D_buf observation).
+func CommSamples(cfg network.Config, grid CommGrid) ([]regress.CommSample, error) {
+	if err := grid.validate(); err != nil {
+		return nil, err
+	}
+	var out []regress.CommSample
+	for _, total := range grid.TotalItems {
+		eng := sim.NewEngine()
+		seg := network.NewSegment(eng, cfg)
+		var delays []sim.Time
+		shares := task.SplitItems(total, grid.Senders)
+		for p := 0; p < grid.Periods; p++ {
+			at := sim.Time(p) * grid.Period
+			eng.Schedule(at, func() {
+				for s, items := range shares {
+					m := &network.Message{
+						From:         s,
+						To:           grid.Senders,
+						PayloadBytes: int64(items * grid.BytesPerItem),
+					}
+					m.OnDeliver = func(m *network.Message) {
+						delays = append(delays, m.BufferDelay())
+					}
+					seg.Send(m)
+				}
+			})
+		}
+		eng.Run()
+		if len(delays) == 0 {
+			return nil, fmt.Errorf("profile: no deliveries at workload %d", total)
+		}
+		var sum sim.Time
+		for _, d := range delays {
+			sum += d
+		}
+		out = append(out, regress.CommSample{
+			TotalItems:  total,
+			BufferDelay: sum / sim.Time(len(delays)),
+		})
+	}
+	return out, nil
+}
+
+// BuildCommModel profiles the segment and assembles the full eq. (4)–(6)
+// model, wiring the segment's own framing constants into D_trans.
+func BuildCommModel(cfg network.Config, grid CommGrid) (regress.CommModel, error) {
+	samples, err := CommSamples(cfg, grid)
+	if err != nil {
+		return regress.CommModel{}, err
+	}
+	k, err := regress.FitBufferSlope(samples)
+	if err != nil {
+		return regress.CommModel{}, err
+	}
+	m := regress.CommModel{
+		K:                       k,
+		LinkBps:                 cfg.BandwidthBps,
+		BytesPerItem:            grid.BytesPerItem,
+		PerMessageOverheadBytes: cfg.PerMessageOverheadBytes,
+		FrameOverheadBytes:      cfg.FrameOverheadBytes,
+		MTU:                     cfg.MTU,
+	}
+	return m, m.Validate()
+}

@@ -1,0 +1,197 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dynbench"
+	"repro/internal/network"
+	"repro/internal/regress"
+	"repro/internal/sim"
+)
+
+func TestExecSamplesIdleMatchDemand(t *testing.T) {
+	spec := dynbench.NewTask(dynbench.Config{}) // noise-free
+	demand := spec.Subtasks[dynbench.FilterStage].Demand
+	grid := ExecGrid{Utils: []float64{0}, Items: []int{300, 1200, 4800}, Reps: 1}
+	samples, err := ExecSamples(demand, grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for _, s := range samples {
+		want := dynbench.PureDemandMS(dynbench.FilterStage, s.Items)
+		if got := s.Latency.Milliseconds(); math.Abs(got-want) > 1e-6 {
+			t.Errorf("idle latency(%d) = %vms, want %vms", s.Items, got, want)
+		}
+	}
+}
+
+func TestExecSamplesContendedSlowdown(t *testing.T) {
+	spec := dynbench.NewTask(dynbench.Config{})
+	demand := spec.Subtasks[dynbench.FilterStage].Demand
+	grid := ExecGrid{Utils: []float64{0, 0.6}, Items: []int{4800}, Reps: 2}
+	samples, err := ExecSamples(demand, grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idle, busy float64
+	for _, s := range samples {
+		if s.Util == 0 {
+			idle += s.Latency.Milliseconds() / 2
+		} else {
+			busy += s.Latency.Milliseconds() / 2
+		}
+	}
+	// RR contention law: latency ≈ demand·(1+u) → ratio ≈ 1.6.
+	ratio := busy / idle
+	if ratio < 1.4 || ratio > 1.8 {
+		t.Errorf("contention ratio = %v, want ≈1.6", ratio)
+	}
+}
+
+func TestExecSamplesDeterministic(t *testing.T) {
+	spec := dynbench.NewTask(dynbench.DefaultConfig()) // with noise
+	demand := spec.Subtasks[dynbench.EvalDecideStage].Demand
+	grid := ExecGrid{Utils: []float64{0.4}, Items: []int{900}, Reps: 3}
+	a, err := ExecSamples(demand, grid, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExecSamples(demand, grid, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed profiles diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExecSamplesValidation(t *testing.T) {
+	spec := dynbench.NewTask(dynbench.Config{})
+	demand := spec.Subtasks[0].Demand
+	if _, err := ExecSamples(nil, DefaultExecGrid(), 1); err == nil {
+		t.Error("nil demand accepted")
+	}
+	if _, err := ExecSamples(demand, ExecGrid{}, 1); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := ExecSamples(demand, ExecGrid{Utils: []float64{2}, Items: []int{1}, Reps: 1}, 1); err == nil {
+		t.Error("out-of-range utilization accepted")
+	}
+	if _, err := ExecSamples(demand, ExecGrid{Utils: []float64{0}, Items: []int{0}, Reps: 1}, 1); err == nil {
+		t.Error("zero items accepted")
+	}
+}
+
+func TestBuildExecModelApproachesGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling sweep")
+	}
+	spec := dynbench.NewTask(dynbench.DefaultConfig())
+	demand := spec.Subtasks[dynbench.FilterStage].Demand
+	grid := ExecGrid{
+		Utils: []float64{0, 0.2, 0.4, 0.6, 0.8},
+		Items: []int{300, 900, 2100, 4200, 7500},
+		Reps:  2,
+	}
+	model, q, err := BuildExecModel(demand, grid, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.R2 < 0.98 {
+		t.Errorf("fit R² = %v, want ≥ 0.98 (%v)", q.R2, model)
+	}
+	// The fitted model must predict within 15 % of ground truth across
+	// the profiled interior.
+	truth := dynbench.GroundTruthExec(dynbench.FilterStage)
+	for _, d := range []float64{10, 30, 60} {
+		for _, u := range []float64{0.1, 0.5, 0.7} {
+			want := truth.LatencyMS(d, u)
+			got := model.LatencyMS(d, u)
+			if math.Abs(got-want)/want > 0.15 {
+				t.Errorf("model(%v,%v) = %v, truth %v", d, u, got, want)
+			}
+		}
+	}
+}
+
+func TestCommSamplesLinearInLoad(t *testing.T) {
+	cfg := network.DefaultConfig()
+	samples, err := CommSamples(cfg, DefaultCommGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(DefaultCommGrid().TotalItems) {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Buffer delay grows with total workload.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].BufferDelay <= samples[i-1].BufferDelay {
+			t.Errorf("buffer delay not increasing: %v then %v",
+				samples[i-1].BufferDelay, samples[i].BufferDelay)
+		}
+	}
+}
+
+func TestBuildCommModelSlopePositive(t *testing.T) {
+	m, err := BuildCommModel(network.DefaultConfig(), DefaultCommGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K <= 0 {
+		t.Errorf("fitted K = %v, want > 0", m.K)
+	}
+	// The fitted model should predict the observed delays decently: the
+	// relationship is linear by construction of the medium.
+	samples, err := CommSamples(network.DefaultConfig(), DefaultCommGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples[2:] { // skip the tiniest loads
+		pred := m.BufferDelayMS(s.TotalItems)
+		obs := s.BufferDelay.Milliseconds()
+		if math.Abs(pred-obs)/obs > 0.5 {
+			t.Errorf("K model predicts %vms at %d items, observed %vms", pred, s.TotalItems, obs)
+		}
+	}
+}
+
+func TestCommSamplesValidation(t *testing.T) {
+	if _, err := CommSamples(network.DefaultConfig(), CommGrid{}); err == nil {
+		t.Error("empty comm grid accepted")
+	}
+}
+
+func TestCommModelAgreesWithWireOnTransmission(t *testing.T) {
+	cfg := network.DefaultConfig()
+	m, err := BuildCommModel(cfg, DefaultCommGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	seg := network.NewSegment(eng, cfg)
+	for _, items := range []int{10, 100, 1000} {
+		want := seg.TxTime(int64(items * 80))
+		if got := m.TransmissionDelay(float64(items)); got != want {
+			t.Errorf("D_trans(%d items) = %v, wire says %v", items, got, want)
+		}
+	}
+}
+
+// Regression guard: the fitted buffer slope lands in the same decade as
+// the paper's Table 3 (k = 0.7 ms per hundred tracks).
+func TestFittedBufferSlopeOrderOfMagnitude(t *testing.T) {
+	m, err := BuildCommModel(network.DefaultConfig(), DefaultCommGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K < 0.7/20 || m.K > 0.7*20 {
+		t.Errorf("fitted K = %v, paper's Table 3 gives 0.7; expected same order of magnitude", m.K)
+	}
+	_ = regress.PaperBufferSlopeK
+}

@@ -1,0 +1,112 @@
+package regress
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// CommModel is eqs. (4)–(6):
+//
+//	ecd(m, d, c) = D_buf(d, c) + D_trans(d)
+//	D_buf = K · Σᵢ ds(Tᵢ, c)        (eq. 5, linear in total periodic load)
+//	D_trans = d / ls                 (eq. 6, payload over link speed)
+//
+// K is in milliseconds per hundred data items of total periodic workload.
+// D_trans accounts for framing the way the wire does, so forecasts and the
+// simulated segment agree on pure transmission time.
+type CommModel struct {
+	// K is the fitted buffer-delay slope (ms per hundred items of total
+	// periodic workload), Table 3's coefficient.
+	K float64
+	// LinkBps is the link transmission speed ls.
+	LinkBps int64
+	// BytesPerItem converts items to payload bytes (Table 1: 80-byte
+	// tracks).
+	BytesPerItem int
+	// PerMessageOverheadBytes, FrameOverheadBytes and MTU mirror the
+	// segment configuration so D_trans matches the wire.
+	PerMessageOverheadBytes int
+	FrameOverheadBytes      int
+	MTU                     int
+}
+
+// Validate reports configuration errors.
+func (m CommModel) Validate() error {
+	if m.K < 0 {
+		return fmt.Errorf("regress: negative buffer slope K=%v", m.K)
+	}
+	if m.LinkBps <= 0 {
+		return fmt.Errorf("regress: non-positive link speed %d", m.LinkBps)
+	}
+	if m.BytesPerItem <= 0 {
+		return fmt.Errorf("regress: non-positive bytes per item %d", m.BytesPerItem)
+	}
+	if m.MTU <= 0 {
+		return fmt.Errorf("regress: non-positive MTU %d", m.MTU)
+	}
+	return nil
+}
+
+// BufferDelayMS returns D_buf in milliseconds for the given total
+// periodic workload (items across all tasks this period).
+func (m CommModel) BufferDelayMS(totalItems int) float64 {
+	if totalItems < 0 {
+		panic(fmt.Sprintf("regress: negative total items %d", totalItems))
+	}
+	return m.K * float64(totalItems) / ItemsPerUnit
+}
+
+// TransmissionDelay returns D_trans for a message carrying the given
+// number of items, including framing overheads.
+func (m CommModel) TransmissionDelay(items float64) sim.Time {
+	if items < 0 {
+		panic(fmt.Sprintf("regress: negative item count %v", items))
+	}
+	payload := int64(items * float64(m.BytesPerItem))
+	frames := (payload + int64(m.MTU) - 1) / int64(m.MTU)
+	if frames == 0 {
+		frames = 1
+	}
+	wire := payload + frames*int64(m.FrameOverheadBytes) + int64(m.PerMessageOverheadBytes)
+	return sim.Time(float64(wire*8) / float64(m.LinkBps) * float64(sim.Second))
+}
+
+// Delay returns the full ecd forecast for a message carrying `items` data
+// items during a period whose total workload is totalItems.
+func (m CommModel) Delay(items float64, totalItems int) sim.Time {
+	return sim.FromMillis(m.BufferDelayMS(totalItems)) + m.TransmissionDelay(items)
+}
+
+// CommSample is one profiled observation: the mean buffer delay observed
+// during a period carrying TotalItems across the segment.
+type CommSample struct {
+	TotalItems  int
+	BufferDelay sim.Time
+}
+
+// FitBufferSlope fits eq. (5)'s K by through-origin linear regression of
+// buffer delay (ms) on total periodic workload (hundreds of items).
+func FitBufferSlope(samples []CommSample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("regress: no comm samples")
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.TotalItems < 0 {
+			return 0, fmt.Errorf("regress: comm sample %d has negative items", i)
+		}
+		xs[i] = float64(s.TotalItems) / ItemsPerUnit
+		ys[i] = s.BufferDelay.Milliseconds()
+	}
+	k, err := stats.LinearThroughOrigin(xs, ys)
+	if err != nil {
+		return 0, fmt.Errorf("regress: buffer slope fit: %w", err)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k, nil
+}

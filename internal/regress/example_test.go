@@ -1,0 +1,52 @@
+package regress_test
+
+import (
+	"fmt"
+
+	"repro/internal/regress"
+	"repro/internal/sim"
+)
+
+// Evaluating eq. (3): the paper's Table 2 row for the Filter subtask at
+// 1 000 tracks on an idle node.
+func ExampleExecModel_Latency() {
+	m := regress.PaperExecSubtask3()
+	fmt.Println(m.Latency(1000, 0))
+	// Output:
+	// 21.653ms
+}
+
+// Fitting eq. (3) from profile samples recovers the generating model.
+func ExampleFitExecModel() {
+	truth := regress.ExecModel{A3: 0.1, B3: 1}
+	var samples []regress.ExecSample
+	for _, u := range []float64{0, 0.5, 1} {
+		for _, items := range []int{100, 500, 1000, 2000} {
+			samples = append(samples, regress.ExecSample{
+				Items: items, Util: u, Latency: truth.Latency(items, u),
+			})
+		}
+	}
+	fit, quality, err := regress.FitExecModel(samples)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("a3=%.3f b3=%.3f R²=%.2f\n", fit.A3, fit.B3, quality.R2)
+	// Output:
+	// a3=0.100 b3=1.000 R²=1.00
+}
+
+// The eq. (4)–(6) communication model composes buffer delay (linear in
+// the total periodic workload) with transmission delay.
+func ExampleCommModel_Delay() {
+	m := regress.CommModel{
+		K:            regress.PaperBufferSlopeK,
+		LinkBps:      100_000_000,
+		BytesPerItem: 80,
+		MTU:          1500,
+	}
+	d := m.Delay(1000, 15000)            // 1000-item message during a 15000-item period
+	fmt.Println(d > 100*sim.Millisecond) // dominated by D_buf = 0.7·150 ms
+	// Output:
+	// true
+}

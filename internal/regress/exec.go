@@ -1,0 +1,151 @@
+// Package regress implements the paper's regression models: the
+// execution-latency model of eq. (3), the communication-delay model of
+// eqs. (4)–(6), fitting both from profile samples, and the published
+// Table 2/3 coefficients as reference data.
+//
+// Units follow the paper: latency in milliseconds, data size d in
+// hundreds of data items, and CPU utilization u as a fraction in [0, 1]
+// (see DESIGN.md for why the published coefficients are only
+// self-consistent with fractional u).
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ItemsPerUnit is the data-size scale of eq. (3): d is measured in
+// hundreds of data items.
+const ItemsPerUnit = 100
+
+// ExecModel is eq. (3):
+//
+//	eex(st, d, u) = (A1·u² + A2·u + A3)·d² + (B1·u² + B2·u + B3)·d
+//
+// with the result in milliseconds.
+type ExecModel struct {
+	A1, A2, A3 float64
+	B1, B2, B3 float64
+}
+
+// LatencyMS evaluates the model at data size d (hundreds of items) and
+// utilization u (fraction). Negative predictions are clamped to zero: the
+// quadratic form can dip below zero outside the profiled region, and a
+// negative latency forecast is never meaningful.
+func (m ExecModel) LatencyMS(d, u float64) float64 {
+	a := m.A1*u*u + m.A2*u + m.A3
+	b := m.B1*u*u + m.B2*u + m.B3
+	ms := a*d*d + b*d
+	if ms < 0 {
+		return 0
+	}
+	return ms
+}
+
+// Latency evaluates the model for a raw item count, returning a
+// simulation duration.
+func (m ExecModel) Latency(items int, u float64) sim.Time {
+	if items < 0 {
+		panic(fmt.Sprintf("regress: negative item count %d", items))
+	}
+	return sim.FromMillis(m.LatencyMS(float64(items)/ItemsPerUnit, u))
+}
+
+// Coefficients returns [A1 A2 A3 B1 B2 B3], the Table 2 layout.
+func (m ExecModel) Coefficients() [6]float64 {
+	return [6]float64{m.A1, m.A2, m.A3, m.B1, m.B2, m.B3}
+}
+
+func (m ExecModel) String() string {
+	return fmt.Sprintf("eex(d,u) = (%.4g·u²%+.4g·u%+.4g)·d² + (%.4g·u²%+.4g·u%+.4g)·d",
+		m.A1, m.A2, m.A3, m.B1, m.B2, m.B3)
+}
+
+// ExecSample is one profiled observation: the latency of a subtask
+// processing Items data items on a node at utilization Util.
+type ExecSample struct {
+	Items   int
+	Util    float64
+	Latency sim.Time
+}
+
+// execBasis is the six-term basis of eq. (3): u²d², ud², d², u²d, ud, d.
+var execBasis = []stats.BasisFunc{
+	func(x []float64) float64 { u, d := x[0], x[1]; return u * u * d * d },
+	func(x []float64) float64 { u, d := x[0], x[1]; return u * d * d },
+	func(x []float64) float64 { d := x[1]; return d * d },
+	func(x []float64) float64 { u, d := x[0], x[1]; return u * u * d },
+	func(x []float64) float64 { u, d := x[0], x[1]; return u * d },
+	func(x []float64) float64 { d := x[1]; return d },
+}
+
+// FitQuality reports goodness of fit on the training samples.
+type FitQuality struct {
+	R2   float64
+	RMSE float64 // milliseconds
+	N    int
+}
+
+func (q FitQuality) String() string {
+	return fmt.Sprintf("R²=%.4f RMSE=%.3gms n=%d", q.R2, q.RMSE, q.N)
+}
+
+// FitExecModel determines eq. (3)'s coefficients from profile samples by
+// ordinary least squares on the six-term basis, exactly as §4.2.1.1
+// prescribes (per-utilization curves combined into a single two-variable
+// equation).
+func FitExecModel(samples []ExecSample) (ExecModel, FitQuality, error) {
+	if len(samples) < len(execBasis) {
+		return ExecModel{}, FitQuality{}, fmt.Errorf(
+			"regress: need ≥%d exec samples, got %d", len(execBasis), len(samples))
+	}
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.Items < 0 {
+			return ExecModel{}, FitQuality{}, fmt.Errorf("regress: sample %d has negative items", i)
+		}
+		if s.Util < 0 || s.Util > 1 {
+			return ExecModel{}, FitQuality{}, fmt.Errorf("regress: sample %d utilization %v out of [0,1]", i, s.Util)
+		}
+		xs[i] = []float64{s.Util, float64(s.Items) / ItemsPerUnit}
+		ys[i] = s.Latency.Milliseconds()
+	}
+	coefs, err := stats.FitBasis(xs, ys, execBasis)
+	if err != nil {
+		return ExecModel{}, FitQuality{}, fmt.Errorf("regress: exec fit: %w", err)
+	}
+	m := ExecModel{coefs[0], coefs[1], coefs[2], coefs[3], coefs[4], coefs[5]}
+	pred := make([]float64, len(samples))
+	for i := range samples {
+		pred[i] = stats.PredictBasis(coefs, execBasis, xs[i])
+	}
+	q := FitQuality{R2: stats.R2(ys, pred), RMSE: stats.RMSE(ys, pred), N: len(samples)}
+	if math.IsNaN(q.R2) {
+		return ExecModel{}, FitQuality{}, fmt.Errorf("regress: exec fit produced NaN quality")
+	}
+	return m, q, nil
+}
+
+// FitPerUtilCurve fits the paper's intermediate per-utilization curve: a
+// second-order polynomial through the origin of latency (ms) against d
+// (hundreds of items), at one utilization level ("Y" in Figures 2–3).
+func FitPerUtilCurve(samples []ExecSample) (a, b float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("regress: need ≥2 samples for a per-utilization curve, got %d", len(samples))
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = float64(s.Items) / ItemsPerUnit
+		ys[i] = s.Latency.Milliseconds()
+	}
+	coefs, err := stats.PolyFit(xs, ys, 2, false)
+	if err != nil {
+		return 0, 0, fmt.Errorf("regress: per-utilization fit: %w", err)
+	}
+	return coefs[0], coefs[1], nil
+}

@@ -1,0 +1,30 @@
+package regress
+
+// Published coefficients from the paper's Tables 2 and 3, kept verbatim as
+// reference data. The paper's two replicable subtasks are numbers 3
+// (the benchmark's Filter program) and 5 (EvalDecide).
+//
+// Unit note (see DESIGN.md §3): utilization u is interpreted as a fraction
+// in [0, 1]; with u in raw percent the published coefficients produce
+// negative latencies over most of the plotted range.
+
+// PaperExecSubtask3 returns Table 2's row for subtask 3 (Filter).
+func PaperExecSubtask3() ExecModel {
+	return ExecModel{
+		A1: -0.00155, A2: 1.535e-05, A3: 0.11816174,
+		B1: 0.0298276, B2: -0.000285, B3: 0.983699,
+	}
+}
+
+// PaperExecSubtask5 returns Table 2's row for subtask 5 (EvalDecide).
+func PaperExecSubtask5() ExecModel {
+	return ExecModel{
+		A1: 0.002123, A2: -1.596e-05, A3: 0.022324,
+		B1: -0.023927, B2: 0.000108, B3: 1.443762,
+	}
+}
+
+// PaperBufferSlopeK is Table 3's buffer-delay slope for both replicable
+// subtasks, in milliseconds per hundred data items of total periodic
+// workload.
+const PaperBufferSlopeK = 0.7

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Timer is a handle to a scheduled event. It can be cancelled before it
+// fires; cancellation is lazy (the event stays in the queue but is skipped).
+type Timer struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// When returns the virtual time at which the timer is scheduled to fire.
+func (t *Timer) When() Time { return t.when }
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// Cancelled reports whether Cancel was called before the timer fired.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// Fired reports whether the timer's callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; run one Engine per goroutine (experiment sweeps run many
+// independent engines in parallel).
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	// Fired counts executed (non-cancelled) events, for diagnostics.
+	fired uint64
+}
+
+// NewEngine returns an engine with virtual time zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending events, including cancelled ones that
+// have not yet been skipped.
+func (e *Engine) Len() int { return len(e.events) }
+
+// EventsFired returns the number of events executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Schedule arranges for fn to run at virtual time at. Scheduling in the
+// past panics: it always indicates a model bug, and silently clamping
+// would mask causality violations.
+func (e *Engine) Schedule(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
+	}
+	t := &Timer{when: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, t)
+	return t
+}
+
+// After arranges for fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing virtual time to it.
+// It returns false when the queue is empty or the engine is stopped.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		if e.stopped {
+			return false
+		}
+		t := heap.Pop(&e.events).(*Timer)
+		if t.cancelled {
+			continue
+		}
+		e.now = t.when
+		t.fired = true
+		e.fired++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ until, then sets the clock to
+// exactly until. Events scheduled at until still fire.
+func (e *Engine) RunUntil(until Time) {
+	for !e.stopped {
+		t := e.peek()
+		if t == nil || t.when > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// peek returns the next non-cancelled event without executing it,
+// discarding cancelled events from the head of the queue.
+func (e *Engine) peek() *Timer {
+	for len(e.events) > 0 {
+		if !e.events[0].cancelled {
+			return e.events[0]
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}
+
+// NextEventTime returns the time of the next pending event and true, or
+// zero and false when the queue is empty.
+func (e *Engine) NextEventTime() (Time, bool) {
+	t := e.peek()
+	if t == nil {
+		return 0, false
+	}
+	return t.when, true
+}
+
+// Stop halts Run/RunUntil after the current event completes. The engine
+// can be resumed with Resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a previous Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching Resume.
+func (e *Engine) Stopped() bool { return e.stopped }

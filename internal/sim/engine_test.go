@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", e.Len())
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5 * Millisecond, Millisecond, 3 * Millisecond} {
+		at := at
+		e.Schedule(at, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{Millisecond, 3 * Millisecond, 5 * Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want insertion order", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var fired Time = -1
+	e.Schedule(2*Second, func() {
+		e.After(500*Millisecond, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 2*Second+500*Millisecond {
+		t.Fatalf("After fired at %v, want 2.5s", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	timer := e.Schedule(Second, func() { fired = true })
+	timer.Cancel()
+	e.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	if !timer.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	if timer.Fired() {
+		t.Error("Fired() = true for cancelled timer")
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	e := NewEngine()
+	var later *Timer
+	fired := false
+	e.Schedule(Millisecond, func() { later.Cancel() })
+	later = e.Schedule(2*Millisecond, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Error("timer cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{Second, 2 * Second, 3 * Second} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(2 * Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by 2s, want 2 (inclusive boundary)", len(fired))
+	}
+	if e.Now() != 2*Second {
+		t.Fatalf("Now() = %v after RunUntil(2s)", e.Now())
+	}
+	e.RunUntil(10 * Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events total, want 3", len(fired))
+	}
+	if e.Now() != 10*Second {
+		t.Fatalf("Now() = %v, want clock advanced to 10s even with empty queue", e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(Second, func() {})
+	tm.Cancel()
+	fired := false
+	e.Schedule(2*Second, func() { fired = true })
+	e.RunUntil(3 * Second)
+	if !fired {
+		t.Error("event after cancelled head did not fire")
+	}
+}
+
+func TestStopAndResume(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(Second, func() { count++; e.Stop() })
+	e.Schedule(2*Second, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after Stop, want 1", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+	e.Resume()
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after Resume+Run, want 2", count)
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventTime(); ok {
+		t.Error("NextEventTime reported an event on empty queue")
+	}
+	e.Schedule(7*Millisecond, func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 7*Millisecond {
+		t.Errorf("NextEventTime = %v,%v want 7ms,true", at, ok)
+	}
+}
+
+func TestEventsFired(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i)*Millisecond, func() {})
+	}
+	tm := e.Schedule(Second, func() {})
+	tm.Cancel()
+	e.Run()
+	if e.EventsFired() != 5 {
+		t.Fatalf("EventsFired = %d, want 5 (cancelled events don't count)", e.EventsFired())
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and the clock never goes backwards.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r % 1_000_000)
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaving Schedule calls from within callbacks preserves
+// global time ordering.
+func TestPropertyNestedScheduling(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		e := NewEngine()
+		var fired []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			fired = append(fired, e.Now())
+			if depth == 0 {
+				return
+			}
+			n := int(r.Uint64() % 3)
+			for i := 0; i < n; i++ {
+				e.After(Time(r.Uint64()%1000)*Microsecond, func() { spawn(depth - 1) })
+			}
+		}
+		for i := 0; i < 5; i++ {
+			e.Schedule(Time(r.Uint64()%10_000)*Microsecond, func() { spawn(3) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		r := NewRand(42, 7)
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.Schedule(Time(r.Uint64()%1000)*Microsecond, func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

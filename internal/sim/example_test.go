@@ -1,0 +1,37 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The engine executes callbacks in virtual-time order; scheduling from
+// inside a callback composes naturally.
+func ExampleEngine() {
+	eng := sim.NewEngine()
+	eng.Schedule(2*sim.Millisecond, func() {
+		fmt.Println("second at", eng.Now())
+	})
+	eng.Schedule(sim.Millisecond, func() {
+		fmt.Println("first at", eng.Now())
+		eng.After(5*sim.Millisecond, func() {
+			fmt.Println("nested at", eng.Now())
+		})
+	})
+	eng.Run()
+	// Output:
+	// first at 1.000ms
+	// second at 2.000ms
+	// nested at 6.000ms
+}
+
+func ExampleTimer_Cancel() {
+	eng := sim.NewEngine()
+	t := eng.Schedule(sim.Second, func() { fmt.Println("never") })
+	t.Cancel()
+	eng.Run()
+	fmt.Println("cancelled:", t.Cancelled())
+	// Output:
+	// cancelled: true
+}

@@ -1,0 +1,31 @@
+package sim
+
+import "math/rand/v2"
+
+// NewRand returns a deterministic PCG-backed generator for the given seed
+// and stream. Experiment sweeps derive (seed, stream) from the experiment
+// identifier and point index so every run is reproducible and independent.
+func NewRand(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, stream))
+}
+
+// Jitter returns a multiplicative noise factor in [1-amp, 1+amp] drawn
+// from r. Amp must be in [0, 1).
+func Jitter(r *rand.Rand, amp float64) float64 {
+	if amp == 0 {
+		return 1
+	}
+	if amp < 0 || amp >= 1 {
+		panic("sim: Jitter amplitude must be in [0,1)")
+	}
+	return 1 + amp*(2*r.Float64()-1)
+}
+
+// JitterTime applies Jitter to a duration, never returning a negative time.
+func JitterTime(r *rand.Rand, d Time, amp float64) Time {
+	j := Time(float64(d) * Jitter(r, amp))
+	if j < 0 {
+		return 0
+	}
+	return j
+}

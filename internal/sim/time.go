@@ -1,0 +1,83 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Virtual time is an int64 nanosecond count starting at zero. Events are
+// ordered by (time, insertion sequence), so two events scheduled for the
+// same instant fire in the order they were scheduled (stable FIFO
+// tie-breaking), which keeps simulations reproducible.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a virtual-time instant or duration in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// FromSeconds converts a floating-point number of seconds to a Time,
+// rounding to the nearest nanosecond.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// FromMillis converts a floating-point number of milliseconds to a Time,
+// rounding to the nearest nanosecond.
+func FromMillis(ms float64) Time { return Time(math.Round(ms * float64(Millisecond))) }
+
+// String formats the time with an adaptive unit, e.g. "1.500ms" or "2.000s".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0 || t >= 10*Second || t <= -10*Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b Time) int64 {
+	if b <= 0 {
+		panic("sim: CeilDiv requires positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (int64(a) + int64(b) - 1) / int64(b)
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		t   Time
+		sec float64
+		ms  float64
+	}{
+		{Second, 1, 1000},
+		{Millisecond, 0.001, 1},
+		{990 * Millisecond, 0.99, 990},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.Seconds(); got != c.sec {
+			t.Errorf("%v.Seconds() = %v, want %v", c.t, got, c.sec)
+		}
+		if got := c.t.Milliseconds(); got != c.ms {
+			t.Errorf("%v.Milliseconds() = %v, want %v", c.t, got, c.ms)
+		}
+	}
+}
+
+func TestFromMillisRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		return FromMillis(float64(ms)).Milliseconds() == float64(ms)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		0:                  "0s",
+		Second:             "1.000s",
+		1500 * Millisecond: "1500.000ms", // < 10s and not a whole second → ms
+		250 * Microsecond:  "250.000µs",
+		42 * Nanosecond:    "42ns",
+		12 * Second:        "12.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(Second, Millisecond) != Millisecond {
+		t.Error("Min wrong")
+	}
+	if Max(Second, Millisecond) != Second {
+		t.Error("Max wrong")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b Time
+		want int64
+	}{
+		{0, Millisecond, 0},
+		{1, Millisecond, 1},
+		{Millisecond, Millisecond, 1},
+		{Millisecond + 1, Millisecond, 2},
+		{-5, Millisecond, 0},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv with zero divisor did not panic")
+		}
+	}()
+	CeilDiv(Second, 0)
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRand(1, 1)
+	for i := 0; i < 1000; i++ {
+		j := Jitter(r, 0.3)
+		if j < 0.7 || j > 1.3 {
+			t.Fatalf("Jitter(0.3) = %v out of [0.7,1.3]", j)
+		}
+	}
+	if Jitter(r, 0) != 1 {
+		t.Error("Jitter(0) != 1")
+	}
+}
+
+func TestJitterPanicsOnBadAmp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Jitter(amp=1) did not panic")
+		}
+	}()
+	Jitter(NewRand(1, 1), 1)
+}
+
+func TestJitterTimeNonNegative(t *testing.T) {
+	r := NewRand(9, 9)
+	for i := 0; i < 100; i++ {
+		if JitterTime(r, Millisecond, 0.99) < 0 {
+			t.Fatal("JitterTime returned negative duration")
+		}
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(5, 6), NewRand(5, 6)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(5, 7)
+	same := true
+	a = NewRand(5, 6)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different streams produced identical output")
+	}
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mean of empty slice did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("P50 of {10,20} = %v, want 15", got)
+	}
+	if got := Percentile([]float64{42}, 95); got != 42 {
+		t.Errorf("P95 of single = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("p=101 did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty Summary string")
+	}
+}
+
+// Property: min ≤ p50 ≤ p95 ≤ max and min ≤ mean ≤ max.
+func TestPropertySummaryOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v == v && v < 1e300 && v > -1e300 { // drop NaN/huge
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	w := NewSlidingWindow(3)
+	if w.Len() != 0 {
+		t.Fatal("new window not empty")
+	}
+	w.Push(1)
+	w.Push(2)
+	if w.Mean() != 1.5 || w.Len() != 2 {
+		t.Errorf("mean=%v len=%d", w.Mean(), w.Len())
+	}
+	w.Push(3)
+	w.Push(4) // evicts 1
+	if w.Mean() != 3 {
+		t.Errorf("mean after eviction = %v, want 3", w.Mean())
+	}
+	if w.Last() != 4 {
+		t.Errorf("Last = %v", w.Last())
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Error("Reset did not empty window")
+	}
+}
+
+func TestSlidingWindowLastWrap(t *testing.T) {
+	w := NewSlidingWindow(2)
+	w.Push(1)
+	w.Push(2)
+	w.Push(3) // next wraps to 0 after this? Push(3) evicts 1; buffer [3,2], next=1
+	if w.Last() != 3 {
+		t.Errorf("Last = %v, want 3", w.Last())
+	}
+}
+
+func TestSlidingWindowEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mean of empty window did not panic")
+		}
+	}()
+	NewSlidingWindow(2).Mean()
+}
+
+func TestSlidingWindowBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	NewSlidingWindow(0)
+}
+
+// Property: window mean equals mean of the last k pushed values.
+func TestPropertySlidingWindowMean(t *testing.T) {
+	f := func(raw []uint8, cap8 uint8) bool {
+		capacity := int(cap8%8) + 1
+		w := NewSlidingWindow(capacity)
+		var all []float64
+		for _, v := range raw {
+			x := float64(v)
+			w.Push(x)
+			all = append(all, x)
+		}
+		if len(all) == 0 {
+			return true
+		}
+		tail := all
+		if len(tail) > capacity {
+			tail = tail[len(tail)-capacity:]
+		}
+		return approxEq(w.Mean(), Mean(tail), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Error("fresh EWMA claims initialized")
+	}
+	e.Push(10)
+	if e.Value() != 10 {
+		t.Errorf("first value = %v", e.Value())
+	}
+	e.Push(20)
+	if e.Value() != 15 {
+		t.Errorf("value = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha 0 did not panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestEWMAValueBeforePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Value before Push did not panic")
+		}
+	}()
+	NewEWMA(0.5).Value()
+}

@@ -1,0 +1,51 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Fitting a through-origin quadratic, the shape of the paper's latency
+// curves.
+func ExamplePolyFit() {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.5*x*x + 2*x
+	}
+	coefs, err := stats.PolyFit(xs, ys, 2, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f·d² + %.2f·d\n", coefs[0], coefs[1])
+	// Output:
+	// 0.50·d² + 2.00·d
+}
+
+// Solving an overdetermined system in the least-squares sense.
+func ExampleLeastSquares() {
+	a := stats.MatrixFromRows([][]float64{{1}, {2}, {3}})
+	x, err := stats.LeastSquares(a, []float64{2, 4, 6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", x[0])
+	// Output:
+	// 2.0
+}
+
+// Through-origin linear regression, the fit behind Table 3's buffer-delay
+// slope.
+func ExampleLinearThroughOrigin() {
+	k, err := stats.LinearThroughOrigin(
+		[]float64{10, 20, 30},
+		[]float64{7, 14, 21},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("k = %.1f\n", k)
+	// Output:
+	// k = 0.7
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZero(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %d×%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0,1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestMatrixFromRowsAndAccess(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Errorf("Set did not stick")
+	}
+}
+
+func TestMatrixFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged rows did not panic")
+		}
+	}()
+	MatrixFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	NewMatrix(2, 2).At(2, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T()
+	if tt.Rows() != 3 || tt.Cols() != 2 {
+		t.Fatalf("T dims = %d×%d", tt.Rows(), tt.Cols())
+	}
+	if tt.At(2, 1) != 6 || tt.At(0, 1) != 4 {
+		t.Errorf("T values wrong:\n%v", tt)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Mul did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+// Property: (Aᵀ)ᵀ = A.
+func TestPropertyDoubleTranspose(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		m := MatrixFromRows([][]float64{vals[0:3], vals[3:6]})
+		tt := m.T().T()
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				a, b := m.At(i, j), tt.At(i, j)
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestPropertyTransposeOfProduct(t *testing.T) {
+	f := func(av, bv [4]int8) bool {
+		a := MatrixFromRows([][]float64{
+			{float64(av[0]), float64(av[1])},
+			{float64(av[2]), float64(av[3])},
+		})
+		b := MatrixFromRows([][]float64{
+			{float64(bv[0]), float64(bv[1])},
+			{float64(bv[2]), float64(bv[3])},
+		})
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if lhs.At(i, j) != rhs.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution at
+// working precision.
+var ErrSingular = errors.New("stats: singular or rank-deficient system")
+
+// SolveGauss solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveGauss(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("stats: SolveGauss needs a square matrix, got %d×%d", a.Rows(), a.Cols())
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("stats: SolveGauss rhs length %d, want %d", len(b), n)
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below the
+		// diagonal.
+		pivot, pmax := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > pmax {
+				pivot, pmax = r, v
+			}
+		}
+		if pmax == 0 || math.IsNaN(pmax) {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := col; j < n; j++ {
+				v1, v2 := m.At(col, j), m.At(pivot, j)
+				m.Set(col, j, v2)
+				m.Set(pivot, j, v1)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		d := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / d
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		d := m.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ for an m×n matrix A with m ≥ n using
+// Householder QR, which is numerically safer than normal equations.
+// A and b are not modified.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	rows, cols := a.Rows(), a.Cols()
+	if rows < cols {
+		return nil, fmt.Errorf("stats: LeastSquares is underdetermined: %d rows < %d cols", rows, cols)
+	}
+	if len(b) != rows {
+		return nil, fmt.Errorf("stats: LeastSquares rhs length %d, want %d", len(b), rows)
+	}
+	r := a.Clone()
+	y := make([]float64, rows)
+	copy(y, b)
+
+	// Scale for relative rank tests: an exactly rank-deficient matrix
+	// leaves O(machine-epsilon) residues after the reflections, so
+	// singularity is judged relative to the matrix magnitude.
+	var scale float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := math.Abs(r.At(i, j)); v > scale {
+				scale = v
+			}
+		}
+	}
+	if scale == 0 {
+		return nil, ErrSingular
+	}
+	tol := 1e-12 * scale
+
+	// Householder reflections, applied to R and y simultaneously.
+	for k := 0; k < cols; k++ {
+		// Compute the norm of column k below (and including) the diagonal.
+		var norm float64
+		for i := k; i < rows; i++ {
+			v := r.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm <= tol {
+			return nil, ErrSingular
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		// Householder vector v, stored temporarily.
+		v := make([]float64, rows-k)
+		v[0] = r.At(k, k) - norm
+		for i := k + 1; i < rows; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		var vnorm2 float64
+		for _, vi := range v {
+			vnorm2 += vi * vi
+		}
+		if vnorm2 == 0 {
+			return nil, ErrSingular
+		}
+		// Apply H = I − 2·v·vᵀ/(vᵀv) to the trailing submatrix of R.
+		for j := k; j < cols; j++ {
+			var dot float64
+			for i := k; i < rows; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < rows; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i-k])
+			}
+		}
+		// And to y.
+		var dot float64
+		for i := k; i < rows; i++ {
+			dot += v[i-k] * y[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < rows; i++ {
+			y[i] -= f * v[i-k]
+		}
+	}
+	// Back substitution on the upper-triangular n×n block.
+	x := make([]float64, cols)
+	for i := cols - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < cols; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) <= tol || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveGaussKnownSystem(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveGauss(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !approxEq(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveGaussNeedsPivoting(t *testing.T) {
+	// Zero on the first diagonal element forces a row swap.
+	a := MatrixFromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := SolveGauss(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 7, 1e-12) || !approxEq(x[1], 3, 1e-12) {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveGauss(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveGaussShapeErrors(t *testing.T) {
+	if _, err := SolveGauss(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := SolveGauss(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+}
+
+func TestSolveGaussDoesNotMutateInputs(t *testing.T) {
+	a := MatrixFromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	if _, err := SolveGauss(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 4 || a.At(1, 0) != 1 || b[0] != 1 || b[1] != 2 {
+		t.Error("SolveGauss mutated its inputs")
+	}
+}
+
+// Property: for random diagonally dominant systems, SolveGauss returns x
+// with A·x ≈ b.
+func TestPropertySolveGaussResidual(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		n := 2 + int(r.Uint64()%5)
+		a := NewMatrix(n, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				v := 2*r.Float64() - 1
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Set(i, i, rowSum+1) // diagonal dominance → well conditioned
+			b[i] = 10 * (2*r.Float64() - 1)
+		}
+		x, err := SolveGauss(a, b)
+		if err != nil {
+			return false
+		}
+		got := a.MulVec(x)
+		for i := range b {
+			if !approxEq(got[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Square nonsingular system: least squares must reproduce the exact
+	// solution.
+	a := MatrixFromRows([][]float64{{3, 1}, {1, 2}})
+	x, err := LeastSquares(a, []float64{9, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 2, 1e-10) || !approxEq(x[1], 3, 1e-10) {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// y = 2x generated exactly; adding rows keeps the solution.
+	a := MatrixFromRows([][]float64{{1}, {2}, {3}, {4}})
+	x, err := LeastSquares(a, []float64{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 2, 1e-12) {
+		t.Errorf("slope = %v, want 2", x[0])
+	}
+}
+
+func TestLeastSquaresUnderdeterminedRejected(t *testing.T) {
+	if _, err := LeastSquares(NewMatrix(1, 2), []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: QR least squares matches the Gaussian normal-equations
+// solution on random well-conditioned problems.
+func TestPropertyLeastSquaresMatchesNormalEquations(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 11))
+		rows := 8 + int(r.Uint64()%8)
+		cols := 2 + int(r.Uint64()%3)
+		a := NewMatrix(rows, cols)
+		b := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, 2*r.Float64()-1)
+			}
+			b[i] = 2*r.Float64() - 1
+		}
+		xqr, err := LeastSquares(a, b)
+		if err != nil {
+			return true // skip near-singular draws
+		}
+		ata := a.T().Mul(a)
+		atb := a.T().MulVec(b)
+		xne, err := SolveGauss(ata, atb)
+		if err != nil {
+			return true
+		}
+		for i := range xqr {
+			if !approxEq(xqr[i], xne[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import "fmt"
+
+// SlidingWindow keeps the most recent capacity observations and exposes
+// their mean. The run-time monitor uses it to smooth per-period latency
+// and utilization samples.
+type SlidingWindow struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewSlidingWindow returns a window of the given capacity (≥ 1).
+func NewSlidingWindow(capacity int) *SlidingWindow {
+	if capacity < 1 {
+		panic(fmt.Sprintf("stats: SlidingWindow capacity %d < 1", capacity))
+	}
+	return &SlidingWindow{buf: make([]float64, capacity)}
+}
+
+// Push adds an observation, evicting the oldest when full.
+func (w *SlidingWindow) Push(x float64) {
+	if w.full {
+		w.sum -= w.buf[w.next]
+	}
+	w.buf[w.next] = x
+	w.sum += x
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of observations currently held.
+func (w *SlidingWindow) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Mean returns the mean of held observations; it panics when empty.
+func (w *SlidingWindow) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		panic("stats: Mean of empty SlidingWindow")
+	}
+	return w.sum / float64(n)
+}
+
+// Last returns the most recent observation; it panics when empty.
+func (w *SlidingWindow) Last() float64 {
+	if w.Len() == 0 {
+		panic("stats: Last of empty SlidingWindow")
+	}
+	i := w.next - 1
+	if i < 0 {
+		i = len(w.buf) - 1
+	}
+	return w.buf[i]
+}
+
+// Reset empties the window.
+func (w *SlidingWindow) Reset() {
+	w.next, w.full, w.sum = 0, false, 0
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]; larger alpha weights recent samples more.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Push folds in an observation and returns the updated average.
+func (e *EWMA) Push(x float64) float64 {
+	if !e.init {
+		e.value, e.init = x, true
+	} else {
+		e.value = e.alpha*x + (1-e.alpha)*e.value
+	}
+	return e.value
+}
+
+// Value returns the current average; it panics before the first Push.
+func (e *EWMA) Value() float64 {
+	if !e.init {
+		panic("stats: Value of EWMA before first Push")
+	}
+	return e.value
+}
+
+// Initialized reports whether at least one observation has been pushed.
+func (e *EWMA) Initialized() bool { return e.init }

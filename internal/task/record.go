@@ -1,0 +1,50 @@
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StageObservation records what the run-time monitor can see of one stage
+// during one period: when the stage's inputs were all available, when its
+// last replica finished, and when its outputs were fully delivered to the
+// next stage.
+type StageObservation struct {
+	ReadyAt     sim.Time // all inputs delivered to every replica
+	DoneAt      sim.Time // last replica's CPU job completed
+	DeliveredAt sim.Time // outputs delivered to next stage (== DoneAt for the final stage)
+	Replicas    int      // |PS(st)| used this period
+}
+
+// ExecLatency is the stage's observed execution latency (the quantity
+// compared against dl(st)).
+func (o StageObservation) ExecLatency() sim.Time { return o.DoneAt - o.ReadyAt }
+
+// CommLatency is the observed delay of the stage's outgoing message (the
+// quantity compared against dl(m)).
+func (o StageObservation) CommLatency() sim.Time { return o.DeliveredAt - o.DoneAt }
+
+// PeriodRecord is one completed task instance.
+type PeriodRecord struct {
+	Period      int
+	Items       int
+	ReleasedAt  sim.Time
+	CompletedAt sim.Time
+	Deadline    sim.Time // absolute
+	Stages      []StageObservation
+}
+
+// EndToEnd returns the instance's release-to-completion latency.
+func (r *PeriodRecord) EndToEnd() sim.Time { return r.CompletedAt - r.ReleasedAt }
+
+// Missed reports whether the instance finished after its deadline.
+func (r *PeriodRecord) Missed() bool { return r.CompletedAt > r.Deadline }
+
+func (r *PeriodRecord) String() string {
+	status := "met"
+	if r.Missed() {
+		status = "MISSED"
+	}
+	return fmt.Sprintf("period %d: %d items, latency %v (%s)", r.Period, r.Items, r.EndToEnd(), status)
+}

@@ -1,0 +1,427 @@
+package task
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func demand(items int, _ *rand.Rand) sim.Time {
+	return sim.Time(items) * sim.Microsecond
+}
+
+func chainSpec(n int) Spec {
+	s := Spec{Name: "T1", Period: sim.Second, Deadline: 990 * sim.Millisecond}
+	for i := 0; i < n; i++ {
+		st := SubtaskSpec{
+			Name:            string(rune('a' + i)),
+			Replicable:      i == 2 || i == 4,
+			Demand:          demand,
+			OutBytesPerItem: 80,
+		}
+		if i == n-1 {
+			st.OutBytesPerItem = 0
+		}
+		s.Subtasks = append(s.Subtasks, st)
+	}
+	return s
+}
+
+func TestSpecValidateAccepts(t *testing.T) {
+	if err := chainSpec(5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if chainSpec(5).NumSubtasks() != 5 {
+		t.Error("NumSubtasks wrong")
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	base := chainSpec(3)
+	cases := map[string]func(Spec) Spec{
+		"no name":       func(s Spec) Spec { s.Name = ""; return s },
+		"zero period":   func(s Spec) Spec { s.Period = 0; return s },
+		"zero deadline": func(s Spec) Spec { s.Deadline = 0; return s },
+		"no subtasks":   func(s Spec) Spec { s.Subtasks = nil; return s },
+		"unnamed subtask": func(s Spec) Spec {
+			s.Subtasks = append([]SubtaskSpec(nil), s.Subtasks...)
+			s.Subtasks[1].Name = ""
+			return s
+		},
+		"nil demand": func(s Spec) Spec {
+			s.Subtasks = append([]SubtaskSpec(nil), s.Subtasks...)
+			s.Subtasks[0].Demand = nil
+			return s
+		},
+		"negative out bytes": func(s Spec) Spec {
+			s.Subtasks = append([]SubtaskSpec(nil), s.Subtasks...)
+			s.Subtasks[0].OutBytesPerItem = -1
+			return s
+		},
+		"final emits": func(s Spec) Spec {
+			s.Subtasks = append([]SubtaskSpec(nil), s.Subtasks...)
+			s.Subtasks[len(s.Subtasks)-1].OutBytesPerItem = 80
+			return s
+		},
+	}
+	for name, mutate := range cases {
+		if err := mutate(base).Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func newDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(chainSpec(5), []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeploymentValidation(t *testing.T) {
+	if _, err := NewDeployment(chainSpec(5), []int{0, 1}); err == nil {
+		t.Error("short homes accepted")
+	}
+	if _, err := NewDeployment(chainSpec(5), []int{0, 1, 2, 3, -1}); err == nil {
+		t.Error("negative home accepted")
+	}
+	bad := chainSpec(5)
+	bad.Name = ""
+	if _, err := NewDeployment(bad, []int{0, 1, 2, 3, 4}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestDeploymentInitialPlacement(t *testing.T) {
+	d := newDeployment(t)
+	for i := 0; i < 5; i++ {
+		if got := d.Replicas(i); len(got) != 1 || got[0] != i {
+			t.Errorf("stage %d replicas = %v", i, got)
+		}
+		if d.ReplicaCount(i) != 1 {
+			t.Errorf("stage %d count = %d", i, d.ReplicaCount(i))
+		}
+	}
+	if !d.Has(2, 2) || d.Has(2, 5) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestAddRemoveReplicaOrdering(t *testing.T) {
+	d := newDeployment(t)
+	if err := d.AddReplica(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddReplica(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 5, 0}
+	got := d.Replicas(2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replicas = %v, want %v", got, want)
+		}
+	}
+	// Last added popped first.
+	if p, ok := d.RemoveLastReplica(2); !ok || p != 0 {
+		t.Errorf("popped %d,%v want 0,true", p, ok)
+	}
+	if p, ok := d.RemoveLastReplica(2); !ok || p != 5 {
+		t.Errorf("popped %d,%v want 5,true", p, ok)
+	}
+	// The home replica is never removed (Figure 6 step 1).
+	if _, ok := d.RemoveLastReplica(2); ok {
+		t.Error("removed the last remaining replica")
+	}
+}
+
+func TestAddReplicaRejections(t *testing.T) {
+	d := newDeployment(t)
+	if err := d.AddReplica(0, 5); err == nil {
+		t.Error("replicated a non-replicable subtask")
+	}
+	if err := d.AddReplica(2, 2); err == nil {
+		t.Error("duplicate placement accepted")
+	}
+	if err := d.AddReplica(2, -3); err == nil {
+		t.Error("negative processor accepted")
+	}
+}
+
+func TestReplicasReturnsCopy(t *testing.T) {
+	d := newDeployment(t)
+	r := d.Replicas(2)
+	r[0] = 99
+	if d.Replicas(2)[0] != 2 {
+		t.Error("Replicas exposed internal storage")
+	}
+}
+
+func TestWarmupLifecycle(t *testing.T) {
+	d := newDeployment(t)
+	if d.ConsumeWarmup(2, 2) {
+		t.Error("home replica owes warm-up")
+	}
+	if err := d.AddReplica(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !d.ConsumeWarmup(2, 5) {
+		t.Error("fresh replica owes no warm-up")
+	}
+	if d.ConsumeWarmup(2, 5) {
+		t.Error("warm-up consumed twice")
+	}
+	// Removing a replica clears any pending warm-up.
+	if err := d.AddReplica(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.RemoveLastReplica(2)
+	if err := d.AddReplica(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.ConsumeWarmup(2, 1) {
+		t.Error("re-added replica owes a fresh warm-up")
+	}
+}
+
+func TestStageBoundsPanics(t *testing.T) {
+	d := newDeployment(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range stage did not panic")
+		}
+	}()
+	d.Replicas(5)
+}
+
+func TestReplicaCountsAndMean(t *testing.T) {
+	d := newDeployment(t)
+	if got := d.ReplicaCounts(); len(got) != 5 {
+		t.Fatalf("counts = %v", got)
+	}
+	if got := d.MeanReplicasOfReplicable(); got != 1 {
+		t.Errorf("mean = %v, want 1", got)
+	}
+	d.AddReplica(2, 5)
+	d.AddReplica(2, 1)
+	d.AddReplica(4, 0)
+	// Stage 2 has 3 replicas, stage 4 has 2 → mean 2.5.
+	if got := d.MeanReplicasOfReplicable(); got != 2.5 {
+		t.Errorf("mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanReplicasNoReplicable(t *testing.T) {
+	s := chainSpec(2)
+	s.Subtasks[0].Replicable = false
+	s.Subtasks[1].Replicable = false
+	d, err := NewDeployment(s, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanReplicasOfReplicable() != 0 {
+		t.Error("mean over zero replicable subtasks should be 0")
+	}
+}
+
+func TestSplitItems(t *testing.T) {
+	cases := []struct {
+		items, k int
+		want     []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{9, 3, []int{3, 3, 3}},
+		{2, 4, []int{1, 1, 0, 0}},
+		{0, 2, []int{0, 0}},
+	}
+	for _, c := range cases {
+		got := SplitItems(c.items, c.k)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitItems(%d,%d) = %v, want %v", c.items, c.k, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSplitItemsPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero k":         func() { SplitItems(5, 0) },
+		"negative items": func() { SplitItems(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: SplitItems conserves the total and is maximally even.
+func TestPropertySplitItems(t *testing.T) {
+	f := func(items uint16, k8 uint8) bool {
+		k := int(k8%16) + 1
+		parts := SplitItems(int(items), k)
+		sum, min, max := 0, parts[0], parts[0]
+		for _, p := range parts {
+			sum += p
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		return sum == int(items) && max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodRecord(t *testing.T) {
+	r := &PeriodRecord{
+		Period:      3,
+		Items:       100,
+		ReleasedAt:  sim.Second,
+		CompletedAt: sim.Second + 500*sim.Millisecond,
+		Deadline:    sim.Second + 990*sim.Millisecond,
+		Stages: []StageObservation{
+			{ReadyAt: sim.Second, DoneAt: sim.Second + 100*sim.Millisecond,
+				DeliveredAt: sim.Second + 120*sim.Millisecond, Replicas: 2},
+		},
+	}
+	if r.EndToEnd() != 500*sim.Millisecond {
+		t.Errorf("EndToEnd = %v", r.EndToEnd())
+	}
+	if r.Missed() {
+		t.Error("on-time instance marked missed")
+	}
+	if r.Stages[0].ExecLatency() != 100*sim.Millisecond {
+		t.Errorf("ExecLatency = %v", r.Stages[0].ExecLatency())
+	}
+	if r.Stages[0].CommLatency() != 20*sim.Millisecond {
+		t.Errorf("CommLatency = %v", r.Stages[0].CommLatency())
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+	r.CompletedAt = r.Deadline + 1
+	if !r.Missed() {
+		t.Error("late instance not marked missed")
+	}
+}
+
+func TestRemoveProcessor(t *testing.T) {
+	d := newDeployment(t)
+	d.AddReplica(2, 5)
+	d.AddReplica(2, 1)
+	// Remove from the middle of PS(st): order of the rest preserved.
+	if !d.RemoveProcessor(2, 5) {
+		t.Fatal("RemoveProcessor failed")
+	}
+	got := d.Replicas(2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("replicas = %v, want [2 1]", got)
+	}
+	// Refuses to remove the only replica.
+	d.RemoveProcessor(2, 1)
+	if d.RemoveProcessor(2, 2) {
+		t.Error("removed the sole replica")
+	}
+	// Unknown processor.
+	if d.RemoveProcessor(2, 9) {
+		t.Error("removed a processor that was never placed")
+	}
+}
+
+func TestRemoveProcessorClearsWarmup(t *testing.T) {
+	d := newDeployment(t)
+	d.AddReplica(2, 5)
+	if !d.RemoveProcessor(2, 5) {
+		t.Fatal("remove failed")
+	}
+	d.AddReplica(2, 5)
+	if !d.ConsumeWarmup(2, 5) {
+		t.Error("re-added replica owes no warm-up")
+	}
+}
+
+func TestReplaceProcessor(t *testing.T) {
+	d := newDeployment(t)
+	if err := d.ReplaceProcessor(2, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Replicas(2); got[0] != 4 {
+		t.Errorf("replicas = %v, want home relocated to 4", got)
+	}
+	if !d.ConsumeWarmup(2, 4) {
+		t.Error("relocated replica owes no warm-up")
+	}
+	// Errors.
+	if err := d.ReplaceProcessor(2, 9, 5); err == nil {
+		t.Error("replaced a non-existent placement")
+	}
+	d.AddReplica(2, 5)
+	if err := d.ReplaceProcessor(2, 4, 5); err == nil {
+		t.Error("replaced onto an already-hosting processor")
+	}
+	if err := d.ReplaceProcessor(2, 4, -1); err == nil {
+		t.Error("replaced onto a negative processor")
+	}
+}
+
+// Property: any sequence of add/remove-last/remove/replace operations
+// preserves the deployment invariants — no duplicate placements, at least
+// one replica per stage, and warm-ups only for current placements.
+func TestPropertyDeploymentInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d, err := NewDeployment(chainSpec(5), []int{0, 1, 2, 3, 4})
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			stage := int(op) % 5
+			proc := int(op>>3) % 8
+			switch (op >> 8) % 4 {
+			case 0:
+				_ = d.AddReplica(stage, proc) // may legally fail
+			case 1:
+				d.RemoveLastReplica(stage)
+			case 2:
+				d.RemoveProcessor(stage, proc)
+			case 3:
+				_ = d.ReplaceProcessor(stage, proc, (proc+1)%8)
+			}
+		}
+		for stage := 0; stage < 5; stage++ {
+			replicas := d.Replicas(stage)
+			if len(replicas) < 1 {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, p := range replicas {
+				if p < 0 || seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+			// Non-replicable stages never grow.
+			if !chainSpec(5).Subtasks[stage].Replicable && len(replicas) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// The triangular pattern of Figure 8: one cycle rising from the minimum
+// to the maximum and back.
+func ExampleNewTriangular() {
+	p := workload.NewTriangular(0, 1000, 10, 1)
+	fmt.Println(workload.Series(p))
+	// Output:
+	// [0 250 500 750 1000 1000 750 500 250 0]
+}
+
+func ExampleNewIncreasingRamp() {
+	p := workload.NewIncreasingRamp(100, 500, 5)
+	fmt.Println(workload.Series(p))
+	// Output:
+	// [100 200 300 400 500]
+}

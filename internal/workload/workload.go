@@ -1,0 +1,259 @@
+// Package workload generates the per-period external workloads (numbers
+// of sensor reports, "tracks") used by the evaluation. Figure 8 of the
+// paper defines three patterns over a [min, max] workload interval —
+// increasing ramp, decreasing ramp, and triangular — which this package
+// implements alongside step, burst, and sinusoid extensions used by the
+// ablation experiments.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Pattern yields the workload (data items) for each period index. Size
+// clamps out-of-range periods to the nearest endpoint, so runners may
+// probe one period past the end safely.
+type Pattern interface {
+	Name() string
+	Periods() int
+	Size(period int) int
+}
+
+func validateInterval(name string, min, max, periods int) {
+	if min < 0 || max < min {
+		panic(fmt.Sprintf("workload: %s interval [%d,%d] invalid", name, min, max))
+	}
+	if periods < 1 {
+		panic(fmt.Sprintf("workload: %s needs ≥1 period, got %d", name, periods))
+	}
+}
+
+func clamp(c, periods int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= periods {
+		return periods - 1
+	}
+	return c
+}
+
+// ramp interpolates linearly from `from` at period 0 to `to` at the final
+// period.
+func ramp(from, to, c, periods int) int {
+	if periods == 1 {
+		return from
+	}
+	return from + (to-from)*c/(periods-1)
+}
+
+// IncreasingRamp rises linearly from Min to Max over the run.
+type IncreasingRamp struct{ Min, Max, N int }
+
+// NewIncreasingRamp returns the Figure 8 increasing ramp.
+func NewIncreasingRamp(min, max, periods int) IncreasingRamp {
+	validateInterval("IncreasingRamp", min, max, periods)
+	return IncreasingRamp{min, max, periods}
+}
+
+func (p IncreasingRamp) Name() string   { return "increasing-ramp" }
+func (p IncreasingRamp) Periods() int   { return p.N }
+func (p IncreasingRamp) Size(c int) int { return ramp(p.Min, p.Max, clamp(c, p.N), p.N) }
+
+// DecreasingRamp falls linearly from Max to Min over the run.
+type DecreasingRamp struct{ Min, Max, N int }
+
+// NewDecreasingRamp returns the Figure 8 decreasing ramp.
+func NewDecreasingRamp(min, max, periods int) DecreasingRamp {
+	validateInterval("DecreasingRamp", min, max, periods)
+	return DecreasingRamp{min, max, periods}
+}
+
+func (p DecreasingRamp) Name() string   { return "decreasing-ramp" }
+func (p DecreasingRamp) Periods() int   { return p.N }
+func (p DecreasingRamp) Size(c int) int { return ramp(p.Max, p.Min, clamp(c, p.N), p.N) }
+
+// Triangular alternates increasing and decreasing ramps, Cycles times.
+type Triangular struct{ Min, Max, N, Cycles int }
+
+// NewTriangular returns the Figure 8 triangular pattern.
+func NewTriangular(min, max, periods, cycles int) Triangular {
+	validateInterval("Triangular", min, max, periods)
+	if cycles < 1 {
+		panic(fmt.Sprintf("workload: Triangular needs ≥1 cycle, got %d", cycles))
+	}
+	return Triangular{min, max, periods, cycles}
+}
+
+func (p Triangular) Name() string { return "triangular" }
+func (p Triangular) Periods() int { return p.N }
+
+func (p Triangular) Size(c int) int {
+	c = clamp(c, p.N)
+	cycleLen := p.N / p.Cycles
+	if cycleLen < 2 {
+		return p.Max
+	}
+	pos := c % cycleLen
+	half := cycleLen / 2
+	if pos < half {
+		return ramp(p.Min, p.Max, pos, half)
+	}
+	return ramp(p.Max, p.Min, pos-half, cycleLen-half)
+}
+
+// Step jumps from Min to Max at period SwitchAt.
+type Step struct{ Min, Max, N, SwitchAt int }
+
+// NewStep returns a step pattern (ablation extension).
+func NewStep(min, max, periods, switchAt int) Step {
+	validateInterval("Step", min, max, periods)
+	if switchAt < 0 || switchAt > periods {
+		panic(fmt.Sprintf("workload: Step switch %d out of [0,%d]", switchAt, periods))
+	}
+	return Step{min, max, periods, switchAt}
+}
+
+func (p Step) Name() string { return "step" }
+func (p Step) Periods() int { return p.N }
+
+func (p Step) Size(c int) int {
+	if clamp(c, p.N) < p.SwitchAt {
+		return p.Min
+	}
+	return p.Max
+}
+
+// Burst holds at Min with excursions to Max every Every periods, each
+// lasting Len periods.
+type Burst struct{ Min, Max, N, Every, Len int }
+
+// NewBurst returns a bursty pattern (ablation extension).
+func NewBurst(min, max, periods, every, length int) Burst {
+	validateInterval("Burst", min, max, periods)
+	if every < 1 || length < 1 || length > every {
+		panic(fmt.Sprintf("workload: Burst every=%d len=%d invalid", every, length))
+	}
+	return Burst{min, max, periods, every, length}
+}
+
+func (p Burst) Name() string { return "burst" }
+func (p Burst) Periods() int { return p.N }
+
+func (p Burst) Size(c int) int {
+	if clamp(c, p.N)%p.Every < p.Len {
+		return p.Max
+	}
+	return p.Min
+}
+
+// Sinusoid oscillates between Min and Max, Cycles full waves over the run.
+type Sinusoid struct{ Min, Max, N, Cycles int }
+
+// NewSinusoid returns a sinusoidal pattern (ablation extension).
+func NewSinusoid(min, max, periods, cycles int) Sinusoid {
+	validateInterval("Sinusoid", min, max, periods)
+	if cycles < 1 {
+		panic(fmt.Sprintf("workload: Sinusoid needs ≥1 cycle, got %d", cycles))
+	}
+	return Sinusoid{min, max, periods, cycles}
+}
+
+func (p Sinusoid) Name() string { return "sinusoid" }
+func (p Sinusoid) Periods() int { return p.N }
+
+func (p Sinusoid) Size(c int) int {
+	c = clamp(c, p.N)
+	mid := float64(p.Min+p.Max) / 2
+	amp := float64(p.Max-p.Min) / 2
+	phase := 2 * math.Pi * float64(p.Cycles) * float64(c) / float64(p.N)
+	return int(math.Round(mid - amp*math.Cos(phase)))
+}
+
+// Constant holds a fixed workload; useful in unit tests and profiling.
+type Constant struct{ Value, N int }
+
+// NewConstant returns a constant pattern.
+func NewConstant(value, periods int) Constant {
+	validateInterval("Constant", value, value, periods)
+	return Constant{value, periods}
+}
+
+func (p Constant) Name() string { return "constant" }
+func (p Constant) Periods() int { return p.N }
+func (p Constant) Size(int) int { return p.Value }
+
+// Series materializes a pattern into one value per period, for plotting
+// (paper Figure 8) and tests.
+func Series(p Pattern) []int {
+	out := make([]int, p.Periods())
+	for c := range out {
+		out[c] = p.Size(c)
+	}
+	return out
+}
+
+// Custom replays an explicit per-period series — the escape hatch for
+// driving the system with recorded production traces instead of the
+// synthetic patterns.
+type Custom struct {
+	Label  string
+	Values []int
+}
+
+// NewCustom wraps a recorded series; values must be non-negative.
+func NewCustom(label string, values []int) Custom {
+	if len(values) == 0 {
+		panic("workload: Custom needs at least one value")
+	}
+	for i, v := range values {
+		if v < 0 {
+			panic(fmt.Sprintf("workload: Custom value %d at period %d is negative", v, i))
+		}
+	}
+	if label == "" {
+		label = "custom"
+	}
+	return Custom{Label: label, Values: values}
+}
+
+func (p Custom) Name() string { return p.Label }
+
+func (p Custom) Periods() int { return len(p.Values) }
+
+func (p Custom) Size(c int) int { return p.Values[clamp(c, len(p.Values))] }
+
+// ParseSeries reads one non-negative integer per line (blank lines and
+// '#' comments skipped) — the on-disk format for recorded traces.
+func ParseSeries(r io.Reader) ([]int, error) {
+	var out []int
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative workload %d", line, v)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: trace contains no values")
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncreasingRampEndpoints(t *testing.T) {
+	p := NewIncreasingRamp(500, 15000, 60)
+	if p.Size(0) != 500 {
+		t.Errorf("Size(0) = %d, want 500", p.Size(0))
+	}
+	if p.Size(59) != 15000 {
+		t.Errorf("Size(59) = %d, want 15000", p.Size(59))
+	}
+	// Clamping.
+	if p.Size(-5) != 500 || p.Size(100) != 15000 {
+		t.Error("out-of-range periods not clamped")
+	}
+	if p.Name() != "increasing-ramp" || p.Periods() != 60 {
+		t.Error("identity accessors wrong")
+	}
+}
+
+func TestIncreasingRampMonotone(t *testing.T) {
+	p := NewIncreasingRamp(0, 1000, 37)
+	for c := 1; c < 37; c++ {
+		if p.Size(c) < p.Size(c-1) {
+			t.Fatalf("ramp decreased at period %d", c)
+		}
+	}
+}
+
+func TestDecreasingRampMirrorsIncreasing(t *testing.T) {
+	inc := NewIncreasingRamp(100, 900, 41)
+	dec := NewDecreasingRamp(100, 900, 41)
+	for c := 0; c < 41; c++ {
+		if dec.Size(c) != inc.Size(40-c) {
+			t.Fatalf("period %d: dec %d != mirrored inc %d", c, dec.Size(c), inc.Size(40-c))
+		}
+	}
+}
+
+func TestTriangularShape(t *testing.T) {
+	p := NewTriangular(0, 1000, 60, 2)
+	// Cycle length 30: rises on [0,15), falls on [15,30).
+	if p.Size(0) != 0 {
+		t.Errorf("Size(0) = %d", p.Size(0))
+	}
+	if p.Size(15) != 1000 {
+		t.Errorf("Size(15) = %d, want peak 1000", p.Size(15))
+	}
+	if got := p.Size(30); got != 0 {
+		t.Errorf("Size(30) = %d, want trough 0", got)
+	}
+	if p.Size(45) != 1000 {
+		t.Errorf("Size(45) = %d, want second peak", p.Size(45))
+	}
+	// Rising half strictly nondecreasing, falling half nonincreasing.
+	for c := 1; c < 15; c++ {
+		if p.Size(c) < p.Size(c-1) {
+			t.Fatalf("rise broken at %d", c)
+		}
+	}
+	for c := 16; c < 30; c++ {
+		if p.Size(c) > p.Size(c-1) {
+			t.Fatalf("fall broken at %d", c)
+		}
+	}
+}
+
+func TestTriangularDegenerateCycle(t *testing.T) {
+	// More cycles than periods → cycleLen < 2 → constant at Max.
+	p := NewTriangular(0, 100, 3, 3)
+	if p.Size(1) != 100 {
+		t.Errorf("degenerate triangular = %d", p.Size(1))
+	}
+}
+
+func TestStep(t *testing.T) {
+	p := NewStep(10, 90, 20, 10)
+	if p.Size(9) != 10 || p.Size(10) != 90 {
+		t.Errorf("step edge wrong: %d, %d", p.Size(9), p.Size(10))
+	}
+}
+
+func TestBurst(t *testing.T) {
+	p := NewBurst(10, 90, 30, 10, 3)
+	wantHigh := map[int]bool{0: true, 1: true, 2: true, 10: true, 12: true, 20: true}
+	for c := 0; c < 30; c++ {
+		want := 10
+		if wantHigh[c] || c%10 < 3 {
+			want = 90
+		}
+		if p.Size(c) != want {
+			t.Fatalf("burst period %d = %d, want %d", c, p.Size(c), want)
+		}
+	}
+}
+
+func TestSinusoidBoundsAndShape(t *testing.T) {
+	p := NewSinusoid(100, 900, 40, 2)
+	if p.Size(0) != 100 {
+		t.Errorf("Size(0) = %d, want trough", p.Size(0))
+	}
+	if p.Size(10) != 900 {
+		t.Errorf("Size(10) = %d, want crest", p.Size(10))
+	}
+	for c := 0; c < 40; c++ {
+		if s := p.Size(c); s < 100 || s > 900 {
+			t.Fatalf("sinusoid out of bounds at %d: %d", c, s)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	p := NewConstant(42, 5)
+	for c := -1; c < 7; c++ {
+		if p.Size(c) != 42 {
+			t.Fatal("constant not constant")
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series(NewIncreasingRamp(0, 10, 11))
+	if len(s) != 11 || s[0] != 0 || s[10] != 10 || s[5] != 5 {
+		t.Errorf("Series = %v", s)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := map[string]func(){
+		"negative min":   func() { NewIncreasingRamp(-1, 5, 10) },
+		"max below min":  func() { NewDecreasingRamp(10, 5, 10) },
+		"zero periods":   func() { NewTriangular(0, 5, 0, 1) },
+		"zero cycles":    func() { NewTriangular(0, 5, 10, 0) },
+		"bad switch":     func() { NewStep(0, 5, 10, 11) },
+		"burst len":      func() { NewBurst(0, 5, 10, 3, 4) },
+		"sinusoid cycle": func() { NewSinusoid(0, 5, 10, 0) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: every pattern stays within [Min, Max] at every period.
+func TestPropertyPatternsWithinBounds(t *testing.T) {
+	f := func(minRaw, spanRaw uint16, periodsRaw, cyclesRaw uint8) bool {
+		min := int(minRaw)
+		max := min + int(spanRaw)
+		periods := int(periodsRaw%100) + 2
+		cycles := int(cyclesRaw%4) + 1
+		patterns := []Pattern{
+			NewIncreasingRamp(min, max, periods),
+			NewDecreasingRamp(min, max, periods),
+			NewTriangular(min, max, periods, cycles),
+			NewStep(min, max, periods, periods/2),
+			NewSinusoid(min, max, periods, cycles),
+		}
+		for _, p := range patterns {
+			for c := 0; c < periods; c++ {
+				if s := p.Size(c); s < min || s > max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomReplaysSeries(t *testing.T) {
+	p := NewCustom("trace", []int{5, 9, 2})
+	if p.Name() != "trace" || p.Periods() != 3 {
+		t.Error("identity wrong")
+	}
+	if p.Size(0) != 5 || p.Size(1) != 9 || p.Size(2) != 2 {
+		t.Error("values wrong")
+	}
+	if p.Size(-1) != 5 || p.Size(10) != 2 {
+		t.Error("clamping wrong")
+	}
+	if NewCustom("", []int{1}).Name() != "custom" {
+		t.Error("default label wrong")
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { NewCustom("x", nil) },
+		"negative": func() { NewCustom("x", []int{1, -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParseSeries(t *testing.T) {
+	in := "# recorded trace\n500\n\n 1200 \n0\n"
+	got, err := ParseSeries(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{500, 1200, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseSeriesErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":  "12\nxyz\n",
+		"negative": "-5\n",
+		"empty":    "# only comments\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseSeries(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
