@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race bench vet fmt all
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine is single-threaded by design, but telemetry's HTTP exposition
+# reads recorder state from handler goroutines — keep the hot paths and
+# their locking honest under the race detector.
+race:
+	$(GO) test -race ./internal/telemetry/... ./internal/core/...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/telemetry/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .

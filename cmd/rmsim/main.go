@@ -6,18 +6,24 @@
 //
 //	rmsim -alg predictive -pattern triangular -max 12000 -periods 120
 //	rmsim -alg non-predictive -pattern step -max 8000 -trace trace.csv
+//	rmsim -alg predictive -telemetry out.json -chrome trace.json
+//	rmsim -alg predictive -http :9090   # then browse /metrics, /snapshot.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
 	"repro/internal/export"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -34,6 +40,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write the per-period trace CSV to this file")
 		events   = flag.Bool("events", false, "print every adaptation event")
 		jsonOut  = flag.String("json", "", "write the full run as JSON to this file ('-' for stdout)")
+		telOut   = flag.String("telemetry", "", "write the telemetry snapshot JSON (latency/slack histograms, forecast MAPE) to this file ('-' for stdout)")
+		chrome   = flag.String("chrome", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+		httpAddr = flag.String("http", "", "after the run, serve live telemetry on this address (/metrics, /snapshot.json, /trace.json) until interrupted")
+		force    = flag.Bool("force", false, "overwrite existing output files")
 	)
 	flag.Parse()
 
@@ -60,12 +70,27 @@ func main() {
 			fatal(err)
 		}
 	}
+	// Refuse clobbers before the run, not after it: losing a finished
+	// simulation to a write error is pointless when the check is free.
+	if !*force {
+		for _, path := range []string{*traceOut, *jsonOut, *telOut, *chrome} {
+			if path == "" || path == "-" {
+				continue
+			}
+			if _, err := os.Stat(path); err == nil {
+				fatal(fmt.Errorf("%s exists; pass -force to overwrite", path))
+			}
+		}
+	}
 	setup, err := experiment.BenchmarkSetup(p)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	if *telOut != "" || *chrome != "" || *httpAddr != "" {
+		cfg.Telemetry = telemetry.New(telemetry.DefaultConfig())
+	}
 	res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
 	if err != nil {
 		fatal(err)
@@ -93,6 +118,10 @@ func main() {
 			s.P50, s.P95, s.Max, dynbench.Deadline)
 	}
 
+	if cfg.Telemetry.Enabled() {
+		printTelemetrySummary(cfg.Telemetry.Snapshot())
+	}
+
 	if *events {
 		fmt.Println("\nadaptation events:")
 		for _, e := range res.Events {
@@ -100,37 +129,99 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		out := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			out = f
-		}
-		if err := export.WriteJSON(out, export.FromResult(res, true, true)); err != nil {
-			fatal(err)
-		}
-		if *jsonOut != "-" {
-			fmt.Printf("\nJSON written to %s\n", *jsonOut)
-		}
+		writeOutput(*jsonOut, *force, "JSON", func(f io.Writer) error {
+			return export.WriteJSON(f, export.FromResult(res, true, true))
+		})
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		writeOutput(*traceOut, *force, fmt.Sprintf("trace (%d rows)", len(res.Records)), func(f io.Writer) error {
+			log := trace.NewLog()
+			for _, r := range res.Records {
+				log.Record(r)
+			}
+			return log.WriteRecordsCSV(f)
+		})
+	}
+	if *telOut != "" {
+		writeOutput(*telOut, *force, "telemetry snapshot", cfg.Telemetry.WriteSnapshot)
+	}
+	if *chrome != "" {
+		writeOutput(*chrome, *force, "Chrome trace", cfg.Telemetry.WriteChromeTrace)
+	}
+	if *httpAddr != "" {
+		srv, addr, err := cfg.Telemetry.Serve(*httpAddr)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		log := trace.NewLog()
-		for _, r := range res.Records {
-			log.Record(r)
+		fmt.Printf("\nserving telemetry on http://%s/ (ctrl-c to stop)\n", addr)
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt)
+		<-stop
+		srv.Close()
+	}
+}
+
+// printTelemetrySummary renders the per-stage latency quantiles and
+// forecast accuracy the recorder collected during the run.
+func printTelemetrySummary(snap telemetry.Snapshot) {
+	fmt.Println("\ntelemetry")
+	fmt.Println("stage  latency p50/p95/p99/max (ms)        slack p50  forecast MAPE exec/comm")
+	for _, st := range snap.Stages {
+		var mape string
+		for _, fs := range snap.Forecast {
+			if fs.Task == st.Task && fs.Stage == st.Stage {
+				if fs.Comm.Matched > 0 {
+					mape = fmt.Sprintf("%.1f%% / %.1f%%", fs.Exec.MAPEPct, fs.Comm.MAPEPct)
+				} else {
+					mape = fmt.Sprintf("%.1f%% / -", fs.Exec.MAPEPct)
+				}
+			}
 		}
-		if err := log.WriteRecordsCSV(f); err != nil {
+		l := st.Latency
+		fmt.Printf("%s/%-2d %8.1f %8.1f %8.1f %8.1f  %9.2f  %s\n",
+			st.Task, st.Stage, l.P50MS, l.P95MS, l.P99MS, l.MaxMS, st.Slack.P50, mape)
+	}
+	for _, tk := range snap.Tasks {
+		l := tk.Latency
+		fmt.Printf("%s e2e %6.1f %8.1f %8.1f %8.1f  %9.2f  (%d instances, %d missed)\n",
+			tk.Task, l.P50MS, l.P95MS, l.P99MS, l.MaxMS, tk.Slack.P50, tk.Instances, tk.Missed)
+	}
+	n := snap.Network
+	fmt.Printf("network: %d wire / %d local msgs, buffer p95 %.2fms, wire p95 %.2fms\n",
+		n.WireMsgs, n.LocalMsgs, n.BufferDelay.P95MS, n.WireDelay.P95MS)
+}
+
+// writeOutput opens path for writing — creating parent directories,
+// refusing to overwrite an existing file unless -force was given, and
+// treating "-" as stdout — then runs write against it.
+func writeOutput(path string, force bool, what string, write func(io.Writer) error) {
+	if path == "-" {
+		if err := write(os.Stdout); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\ntrace written to %s (%d rows)\n", *traceOut, len(res.Records))
+		return
 	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if !force {
+		flags |= os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			fatal(fmt.Errorf("%s exists; pass -force to overwrite", path))
+		}
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s written to %s\n", what, path)
 }
 
 func buildPattern(name string, min, max, periods int) (workload.Pattern, error) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/regress"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -88,6 +89,12 @@ type Config struct {
 	// the motivation the paper opens with, and fail-over exercises the
 	// same allocation machinery as workload adaptation.
 	Faults []Fault
+
+	// Telemetry, when non-nil, receives spans, metrics and forecast
+	// residuals from the run (see internal/telemetry). Nil — the default —
+	// disables collection; every instrumentation site degrades to a single
+	// nil check.
+	Telemetry *telemetry.Recorder
 }
 
 // Fault is one injected node crash. Duration 0 means the node never

@@ -24,6 +24,11 @@ type instance struct {
 	readyCount  []int   // replicas of the stage whose inputs are complete
 }
 
+// taskMessageMeta marks messages the facade records itself (with task,
+// stage and period context); the segment-level telemetry observer skips
+// them so they are not double-counted as system traffic.
+var taskMessageMeta = new(struct{})
+
 // launch releases one period's instance into the system.
 func (s *system) launch(rt *runtimeTask, c, items int) {
 	spec := rt.setup.Spec
@@ -64,6 +69,21 @@ func (s *system) launch(rt *runtimeTask, c, items int) {
 	}
 	rt.inFlight++
 
+	// Record the eq. (3)/(5) forecasts for this period with the ACTUAL
+	// item count, pairing each against the observation at completion.
+	// Using the true count (not the allocator's one-period-stale view)
+	// isolates model quality from workload staleness in the residuals.
+	if s.tel.Enabled() {
+		chain := rt.estimateChain(s, items, maxInt(s.totalItems(), items))
+		for i := 0; i < n; i++ {
+			comm := sim.Time(-1) // final stage: no outgoing message
+			if i < n-1 {
+				comm = chain.Comm[i]
+			}
+			s.tel.Predict(spec.Name, i, c, chain.Exec[i], comm)
+		}
+	}
+
 	// Stage 0's inputs (the sensor reports) are available at release.
 	inst.rec.Stages[0].ReadyAt = s.nodeNow(inst.placements[0][0])
 	for idx := range inst.placements[0] {
@@ -85,16 +105,19 @@ func (s *system) submitReplicaJob(inst *instance, stage, idx int) {
 	if inst.rt.dep.ConsumeWarmup(stage, proc) {
 		demand += s.cfg.WarmupDemand
 	}
-	s.procs[proc].Submit(&cpu.Job{
+	j := &cpu.Job{
 		Name:   fmt.Sprintf("%s/%s#%d.%d", spec.Name, spec.Subtasks[stage].Name, inst.rec.Period, idx),
 		Demand: demand,
-		OnComplete: func(at sim.Time) {
-			// Attribute the CPU time to this task so utilization
-			// sampling can separate own work from background.
-			inst.rt.ownBusy[proc] += demand
-			s.replicaDone(inst, stage, idx, at)
-		},
-	})
+	}
+	j.OnComplete = func(at sim.Time) {
+		// Attribute the CPU time to this task so utilization
+		// sampling can separate own work from background.
+		inst.rt.ownBusy[proc] += demand
+		s.tel.RecordExec(spec.Name, stage, inst.rec.Period, proc,
+			inst.replicaInputItems(stage, idx), j.SubmittedAt, j.StartedAt, at)
+		s.replicaDone(inst, stage, idx, at)
+	}
+	s.procs[proc].Submit(j)
 }
 
 // replicaDone handles one replica's completion: forward its output to
@@ -127,7 +150,10 @@ func (s *system) replicaDone(inst *instance, stage, idx int, at sim.Time) {
 			From:         srcProc,
 			To:           destProc,
 			PayloadBytes: int64(payloadItems * bytesPerItem),
+			Meta:         taskMessageMeta,
 			OnDeliver: func(m *network.Message) {
+				s.tel.RecordMessage(spec.Name, stage+1, inst.rec.Period,
+					m.From, m.To, m.PayloadBytes, m.EnqueuedAt, m.SentAt, m.DeliveredAt)
 				s.msgArrived(inst, stage+1, j, m.DeliveredAt)
 			},
 		})
@@ -158,6 +184,21 @@ func (s *system) complete(inst *instance) {
 	inst.rt.inFlight--
 	s.collector.ObserveCompletion(inst.rec.Missed())
 	s.log.Record(inst.rec)
+	if s.tel.Enabled() {
+		rt, rec := inst.rt, inst.rec
+		name := rt.setup.Spec.Name
+		for _, ss := range rt.mon.StageSlacks(rec) {
+			s.tel.RecordStage(name, ss.Stage, rec.Period, ss.Latency, ss.Deadline)
+		}
+		for i := range rec.Stages {
+			comm := sim.Time(-1)
+			if i < len(rec.Stages)-1 {
+				comm = rec.Stages[i].CommLatency()
+			}
+			s.tel.ObserveForecast(name, i, rec.Period, rec.Stages[i].ExecLatency(), comm)
+		}
+		s.tel.RecordEndToEnd(name, rec.Period, rec.EndToEnd(), rt.setup.Spec.Deadline, rec.Missed())
+	}
 	last := inst.rt.lastCompleted
 	if last == nil || inst.rec.Period > last.Period {
 		inst.rt.lastCompleted = inst.rec

@@ -13,6 +13,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,7 @@ type system struct {
 	rng       *rand.Rand
 	collector *metrics.Collector
 	log       *trace.Log
+	tel       *telemetry.Recorder // nil when telemetry is disabled
 
 	sysMeters []*cpu.Meter
 	netMeter  *network.Meter
@@ -115,6 +117,7 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 		rng:       sim.NewRand(cfg.Seed, 0x5eed),
 		collector: metrics.NewCollector(float64(cfg.NumNodes)),
 		log:       trace.NewLog(),
+		tel:       cfg.Telemetry,
 	}
 	s.seg = network.NewSegment(s.eng, cfg.Network)
 	for i := 0; i < cfg.NumNodes; i++ {
@@ -122,6 +125,26 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 		s.sysMeters = append(s.sysMeters, cpu.NewMeter(s.eng, s.procs[i]))
 	}
 	s.netMeter = network.NewMeter(s.seg)
+	if s.tel.Enabled() {
+		// Queue-wait coverage for every job on every node comes from the
+		// scheduler-level observer; task-scoped exec spans are recorded at
+		// the facade's own completion callbacks, which carry the context.
+		for _, p := range s.procs {
+			p.SetObserver(func(procID int, j *cpu.Job) {
+				s.tel.RecordJobWait(procID, j.StartedAt-j.SubmittedAt)
+			})
+		}
+		// The segment observer sees every delivery; task messages are
+		// recorded by the facade with full context and marked with a
+		// sentinel Meta, so only system traffic (clock sync) lands here.
+		s.seg.SetObserver(func(m *network.Message) {
+			if m.Meta == taskMessageMeta {
+				return
+			}
+			s.tel.RecordMessage("", -1, -1, m.From, m.To, m.PayloadBytes,
+				m.EnqueuedAt, m.SentAt, m.DeliveredAt)
+		})
+	}
 
 	s.down = make([]bool, cfg.NumNodes)
 	if cfg.ClockSync {
@@ -191,6 +214,8 @@ func (s *system) failNode(n int) {
 		At: s.eng.Now(), Period: int(s.eng.Now() / sim.Second), Task: "-",
 		Stage: -1, Kind: trace.ActionNodeDown, Procs: []int{n},
 	})
+	s.tel.RecordAdaptation(s.eng.Now(), "-", -1, int(s.eng.Now()/sim.Second),
+		string(trace.ActionNodeDown), int64(n))
 }
 
 // recoverNode brings a crashed node back empty.
@@ -204,6 +229,8 @@ func (s *system) recoverNode(n int) {
 		At: s.eng.Now(), Period: int(s.eng.Now() / sim.Second), Task: "-",
 		Stage: -1, Kind: trace.ActionNodeUp, Procs: []int{n},
 	})
+	s.tel.RecordAdaptation(s.eng.Now(), "-", -1, int(s.eng.Now()/sim.Second),
+		string(trace.ActionNodeUp), int64(n))
 }
 
 // repairPlacements is the fail-over step run at each monitoring cycle:
@@ -222,6 +249,8 @@ func (s *system) repairPlacements(rt *runtimeTask, c int) {
 					At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
 					Kind: trace.ActionFailover, Procs: []int{proc},
 				})
+				s.tel.RecordAdaptation(s.eng.Now(), rt.setup.Spec.Name, stage, c,
+					string(trace.ActionFailover), int64(proc))
 				continue
 			}
 			// Sole replica: relocate to the least-utilized live node
@@ -243,6 +272,8 @@ func (s *system) repairPlacements(rt *runtimeTask, c int) {
 					At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
 					Kind: trace.ActionFailover, Procs: []int{proc, best},
 				})
+				s.tel.RecordAdaptation(s.eng.Now(), rt.setup.Spec.Name, stage, c,
+					string(trace.ActionFailover), int64(best))
 			}
 		}
 	}
@@ -295,6 +326,15 @@ func (s *system) newRuntimeTask(setup TaskSetup) (*runtimeTask, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if p, ok := alloc.(*manager.Predictive); ok && s.tel.Enabled() {
+		// Count Figure 5 forecast evaluations per stage: the probe fires
+		// once per replica per forecastOK pass, so the counter reflects
+		// how much model work each adaptation decision cost.
+		name := setup.Spec.Name
+		p.Probe = func(stage, share int, u float64, predicted sim.Time) {
+			s.tel.RecordForecastEval(name, stage)
+		}
 	}
 	if s.alg == StaticMax {
 		// Maximum-concurrency deployment: every replicable subtask on
@@ -418,16 +458,20 @@ func (s *system) runPeriod(rt *runtimeTask, c int) {
 	// periods so multi-task runs don't double-count windows.
 	if rt == s.tasks[0] {
 		var cpuSum float64
-		for _, m := range s.sysMeters {
-			cpuSum += clamp01(m.Sample())
+		for i, m := range s.sysMeters {
+			u := clamp01(m.Sample())
+			cpuSum += u
+			s.tel.SetProcUtil(i, u)
 		}
 		var reps float64
 		for _, t := range s.tasks {
 			reps += t.dep.MeanReplicasOfReplicable()
 		}
+		netU := clamp01(s.netMeter.Sample())
+		s.tel.SetNetUtil(netU)
 		s.collector.ObservePeriodStart(
 			cpuSum/float64(len(s.sysMeters)),
-			clamp01(s.netMeter.Sample()),
+			netU,
 			reps/float64(len(s.tasks)),
 		)
 	}
@@ -472,6 +516,8 @@ func (s *system) adapt(rt *runtimeTask, c, items int) {
 				At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
 				Kind: trace.ActionReplicate, Procs: newProcs(before, rt.dep.Replicas(stage)),
 			})
+			s.tel.RecordAdaptation(s.eng.Now(), rt.setup.Spec.Name, stage, c,
+				string(trace.ActionReplicate), int64(added))
 		}
 		if !ok {
 			s.collector.CountAllocFailure()
@@ -479,6 +525,8 @@ func (s *system) adapt(rt *runtimeTask, c, items int) {
 				At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
 				Kind: trace.ActionAllocFailure,
 			})
+			s.tel.RecordAdaptation(s.eng.Now(), rt.setup.Spec.Name, stage, c,
+				string(trace.ActionAllocFailure), 0)
 		}
 	}
 	for _, stage := range analysis.Shutdown {
@@ -493,6 +541,8 @@ func (s *system) adapt(rt *runtimeTask, c, items int) {
 				At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: stage,
 				Kind: trace.ActionShutdown, Procs: []int{proc},
 			})
+			s.tel.RecordAdaptation(s.eng.Now(), rt.setup.Spec.Name, stage, c,
+				string(trace.ActionShutdown), int64(proc))
 		}
 	}
 	if changed {

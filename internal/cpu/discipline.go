@@ -32,11 +32,19 @@ func (d Discipline) String() string {
 	}
 }
 
+// JobObserver sees every job the moment it completes, with its
+// SubmittedAt/StartedAt/CompletedAt timestamps final. Telemetry hooks in
+// here so queue-wait and service-time accounting cover all work on the
+// node — including background load — not just the jobs the facade
+// submits. It runs before the job's own OnComplete callback.
+type JobObserver func(procID int, j *Job)
+
 // Scheduler is the per-processor policy abstraction: Processor implements
 // it for round-robin and FIFO; PSProcessor implements processor sharing.
 type Scheduler interface {
 	ID() int
 	Submit(j *Job)
+	SetObserver(fn JobObserver)
 	BusyTime() sim.Time
 	QueueLen() int
 	Busy() bool
@@ -79,6 +87,8 @@ type PSProcessor struct {
 	completed uint64
 	failed    bool
 	dropped   uint64
+
+	observer JobObserver
 }
 
 type psJob struct {
@@ -93,6 +103,9 @@ func NewPSProcessor(eng *sim.Engine, id int) *PSProcessor {
 
 // ID implements Scheduler.
 func (p *PSProcessor) ID() int { return p.id }
+
+// SetObserver implements Scheduler.
+func (p *PSProcessor) SetObserver(fn JobObserver) { p.observer = fn }
 
 // QueueLen implements Scheduler.
 func (p *PSProcessor) QueueLen() int { return len(p.active) }
@@ -174,6 +187,9 @@ func (p *PSProcessor) completeDue() {
 	}
 	p.reschedule()
 	for _, a := range done {
+		if p.observer != nil {
+			p.observer(p.id, a.job)
+		}
 		if a.job.OnComplete != nil {
 			a.job.OnComplete(now)
 		}
@@ -196,6 +212,9 @@ func (p *PSProcessor) Submit(j *Job) {
 		j.started, j.done = true, true
 		j.StartedAt, j.CompletedAt = now, now
 		p.completed++
+		if p.observer != nil {
+			p.observer(p.id, j)
+		}
 		if j.OnComplete != nil {
 			j.OnComplete(now)
 		}

@@ -65,6 +65,8 @@ type Processor struct {
 
 	failed  bool
 	dropped uint64 // jobs lost to failures (in queue or submitted while down)
+
+	observer JobObserver
 }
 
 // NewProcessor returns a processor with the given id and RR slice.
@@ -77,6 +79,9 @@ func NewProcessor(eng *sim.Engine, id int, slice sim.Time) *Processor {
 
 // ID returns the processor's identifier.
 func (p *Processor) ID() int { return p.id }
+
+// SetObserver installs a completion observer (see Scheduler.SetObserver).
+func (p *Processor) SetObserver(fn JobObserver) { p.observer = fn }
 
 // Slice returns the round-robin quantum.
 func (p *Processor) Slice() sim.Time { return p.slice }
@@ -136,6 +141,9 @@ func (p *Processor) Submit(j *Job) {
 		j.started, j.done = true, true
 		j.StartedAt, j.CompletedAt = now, now
 		p.completed++
+		if p.observer != nil {
+			p.observer(p.id, j)
+		}
 		if j.OnComplete != nil {
 			j.OnComplete(now)
 		}
@@ -199,6 +207,9 @@ func (p *Processor) burstEnd() {
 		j.CompletedAt = p.eng.Now()
 		p.completed++
 		p.dispatch()
+		if p.observer != nil {
+			p.observer(p.id, j)
+		}
 		if j.OnComplete != nil {
 			j.OnComplete(j.CompletedAt)
 		}

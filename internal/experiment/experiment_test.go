@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3",
 		"fig2", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"ext-threshold", "ext-multitask", "ext-slack", "ext-ut", "ext-patterns", "ext-faults", "ext-seeds", "ext-allocators", "ext-models", "ext-overlap", "ext-warmup", "ext-sched", "ext-smoothing",
+		"ext-threshold", "ext-multitask", "ext-slack", "ext-ut", "ext-patterns", "ext-faults", "ext-seeds", "ext-allocators", "ext-models", "ext-overlap", "ext-warmup", "ext-sched", "ext-smoothing", "ext-telemetry",
 	}
 	ids := make(map[string]bool)
 	for _, e := range all {

@@ -130,6 +130,11 @@ type Predictive struct {
 	Exec []regress.ExecModel
 	// Comm is the fitted eq. (4)–(6) model.
 	Comm regress.CommModel
+	// Probe, when non-nil, observes every single-replica forecast the
+	// allocator evaluates (Figure 5 step 6 and the shutdown guard).
+	// Telemetry uses it to count model evaluations per stage; it must not
+	// mutate allocator state.
+	Probe func(stage, share int, u float64, predicted sim.Time)
 }
 
 // NewPredictive validates the models and returns the allocator.
@@ -160,7 +165,12 @@ func (p *Predictive) forecastOK(d *task.Deployment, stage int, env Environment, 
 	share := (env.Items + len(replicas) - 1) / len(replicas)
 	limit := env.slackDeadline()
 	for _, q := range replicas {
-		if p.forecast(stage, share, env.Procs.Utilization(q), env.TotalItems) > limit {
+		u := env.Procs.Utilization(q)
+		pred := p.forecast(stage, share, u, env.TotalItems)
+		if p.Probe != nil {
+			p.Probe(stage, share, u, pred)
+		}
+		if pred > limit {
 			return false
 		}
 	}

@@ -1,0 +1,71 @@
+package metrics
+
+import "testing"
+
+// Multi-task runs sample period starts only against the anchor task's
+// boundaries while completions count every task, so Completed > Periods
+// is a legitimate state — not an accounting bug. These tests pin the
+// documented behaviour of that branch.
+
+func TestMissedPctCompletedExceedsPeriods(t *testing.T) {
+	m := RunMetrics{Periods: 10, Completed: 20, Missed: 5}
+	if got, want := m.MissedPct(), 25.0; got != want {
+		t.Errorf("MissedPct = %v, want %v (missed/completed when completions exceed periods)", got, want)
+	}
+}
+
+func TestMissedPctZeroEverything(t *testing.T) {
+	if got := (RunMetrics{}).MissedPct(); got != 0 {
+		t.Errorf("MissedPct of empty run = %v, want 0", got)
+	}
+}
+
+func TestMissedPctLostInstancesCountAsMissed(t *testing.T) {
+	// 10 released, 7 finished (1 late), 3 lost to crashes: MD counts the
+	// lost ones as missed.
+	m := RunMetrics{Periods: 10, Completed: 7, Missed: 1}
+	if got, want := m.MissedPct(), 40.0; got != want {
+		t.Errorf("MissedPct = %v, want %v", got, want)
+	}
+}
+
+func TestMissedPctNeverExceeds100(t *testing.T) {
+	for _, m := range []RunMetrics{
+		{Periods: 10, Completed: 0, Missed: 0},
+		{Periods: 10, Completed: 10, Missed: 10},
+		{Periods: 5, Completed: 50, Missed: 50},
+		{Periods: 10, Completed: 3, Missed: 3},
+	} {
+		if got := m.MissedPct(); got < 0 || got > 100 {
+			t.Errorf("MissedPct(%+v) = %v, outside [0,100]", m, got)
+		}
+	}
+}
+
+func TestFinishClampsUnfinishedWork(t *testing.T) {
+	c := NewCollector(6)
+	// One anchor-task period start, three completions (two tasks' worth of
+	// instances finishing in the same window plus a drained straggler).
+	c.ObservePeriodStart(0.5, 0.1, 1)
+	c.ObserveCompletion(false)
+	c.ObserveCompletion(false)
+	c.ObserveCompletion(true)
+	m := c.Finish()
+	if m.UnfinishedWork != 0 {
+		t.Errorf("UnfinishedWork = %d, want 0 (clamped, not negative)", m.UnfinishedWork)
+	}
+	if m.Completed != 3 || m.Periods != 1 || m.Missed != 1 {
+		t.Errorf("counts = %+v", m)
+	}
+}
+
+func TestFinishCountsGenuinelyUnfinished(t *testing.T) {
+	c := NewCollector(6)
+	for i := 0; i < 4; i++ {
+		c.ObservePeriodStart(0, 0, 1)
+	}
+	c.ObserveCompletion(false)
+	if got := c.Finish().UnfinishedWork; got != 3 {
+		t.Errorf("UnfinishedWork = %d, want 3", got)
+	}
+}

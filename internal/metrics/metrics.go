@@ -30,6 +30,13 @@ type RunMetrics struct {
 // MissedPct returns the missed-deadline percentage MD. Instances that
 // never finished (work lost to node crashes) count as missed: a result
 // that never arrives is at least as bad as a late one.
+//
+// Completed can legitimately EXCEED Periods: period starts are sampled
+// only against the first task's boundaries (so multi-task runs don't
+// double-count utilization windows), while completions count every
+// task's instances. In that regime the per-anchor-task period count is
+// not a meaningful denominator, so the ratio falls back to completions
+// and no instance is inferred lost.
 func (m RunMetrics) MissedPct() float64 {
 	if m.Completed >= m.Periods {
 		if m.Completed == 0 {
@@ -120,6 +127,12 @@ func (c *Collector) CountAllocFailure() { c.failures++ }
 
 // Finish produces the run summary.
 func (c *Collector) Finish() RunMetrics {
+	// Completed > periods is normal in multi-task runs (see MissedPct):
+	// clamp so lost-instance accounting can't go negative.
+	unfinished := c.periods - c.completed
+	if unfinished < 0 {
+		unfinished = 0
+	}
 	m := RunMetrics{
 		Periods:        c.periods,
 		Completed:      c.completed,
@@ -128,7 +141,7 @@ func (c *Collector) Finish() RunMetrics {
 		Replications:   c.replications,
 		Shutdowns:      c.shutdowns,
 		AllocFailures:  c.failures,
-		UnfinishedWork: c.periods - c.completed,
+		UnfinishedWork: unfinished,
 	}
 	if c.samples > 0 {
 		m.MeanCPUUtil = c.cpuSum / float64(c.samples)

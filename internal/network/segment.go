@@ -90,7 +90,17 @@ type Segment struct {
 	sent       uint64
 	wireBytes  int64
 	localSends uint64
+
+	observer func(m *Message)
 }
+
+// SetObserver installs a delivery observer: it sees every message —
+// task data, clock-synchronization exchanges, anything riding the
+// segment — at the moment it is delivered, with EnqueuedAt/SentAt/
+// DeliveredAt final, before the message's own OnDeliver callback.
+// Telemetry hooks in here so the buffer-vs-wire delay split (eqs. 4–6)
+// is observable for all traffic.
+func (s *Segment) SetObserver(fn func(m *Message)) { s.observer = fn }
 
 // NewSegment returns a segment with the given configuration.
 func NewSegment(eng *sim.Engine, cfg Config) *Segment {
@@ -143,6 +153,9 @@ func (s *Segment) Send(m *Message) {
 		s.eng.After(s.cfg.LocalDelay, func() {
 			m.DeliveredAt = s.eng.Now()
 			m.delivered = true
+			if s.observer != nil {
+				s.observer(m)
+			}
 			if m.OnDeliver != nil {
 				m.OnDeliver(m)
 			}
@@ -173,6 +186,9 @@ func (s *Segment) transmitNext() {
 		m.DeliveredAt = s.eng.Now()
 		m.delivered = true
 		s.transmitNext()
+		if s.observer != nil {
+			s.observer(m)
+		}
 		if m.OnDeliver != nil {
 			m.OnDeliver(m)
 		}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// chromeEvent is one trace_event entry. Timestamps are microseconds of
+// simulation time, the unit the trace_event format expects.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Synthetic pids: nodes use their id, the network medium and the control
+// plane (allocator/monitor instants) get their own rows.
+const (
+	pidNetwork = 1000
+	pidControl = 1001
+)
+
+func us(t sim.Time) float64 { return t.Microseconds() }
+
+// WriteChromeTrace renders the span/event buffers in Chrome trace_event
+// JSON, loadable in Perfetto or chrome://tracing: one process per node
+// (threads = pipeline stages), one for the network medium (threads =
+// source nodes), and one for control-plane instants. A nil or
+// span-capture-disabled recorder writes an empty trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+
+		meta := func(pid int, name string) {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		seenNode := map[int]bool{}
+		node := func(pid int) {
+			if !seenNode[pid] {
+				seenNode[pid] = true
+				meta(pid, fmt.Sprintf("node %d", pid))
+			}
+		}
+		meta(pidNetwork, "network segment")
+		meta(pidControl, "resource manager")
+
+		for _, s := range r.spans {
+			switch s.Kind {
+			case KindExec:
+				node(int(s.Proc))
+				dur := us(s.End - s.Mid)
+				wait := us(s.Mid - s.Start)
+				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+					Name: fmt.Sprintf("%s/st%d #%d", s.Task, s.Stage, s.Period),
+					Cat:  "exec", Ph: "X", TS: us(s.Mid), Dur: &dur,
+					PID: int(s.Proc), TID: int(s.Stage),
+					Args: map[string]any{"items": s.Items, "queue_wait_us": wait, "period": s.Period},
+				})
+			case KindMessage:
+				name := fmt.Sprintf("%s→st%d #%d", s.Task, s.Stage, s.Period)
+				if s.Task == "" {
+					name = "sync"
+				}
+				if buf := us(s.Mid - s.Start); buf > 0 {
+					trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+						Name: name + " (buffer)",
+						Cat:  "net-buffer", Ph: "X", TS: us(s.Start), Dur: &buf,
+						PID: pidNetwork, TID: int(s.From),
+						Args: map[string]any{"bytes": s.Items, "to": s.Proc},
+					})
+				}
+				wire := us(s.End - s.Mid)
+				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+					Name: name,
+					Cat:  "net-wire", Ph: "X", TS: us(s.Mid), Dur: &wire,
+					PID: pidNetwork, TID: int(s.From),
+					Args: map[string]any{"bytes": s.Items, "to": s.Proc},
+				})
+			}
+		}
+		for _, e := range r.instants {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: e.Kind, Cat: "adaptation", Ph: "i", TS: us(e.At),
+				PID: pidControl, TID: int(e.Stage) + 1, S: "p",
+				Args: map[string]any{"task": e.Task, "period": e.Period, "value": e.Value},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(trace); err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	return nil
+}

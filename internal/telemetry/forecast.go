@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// mapeWindow is the number of recent periods the rolling MAPE averages
+// over — long enough to smooth single-period noise, short enough to show
+// forecast staleness as the workload shifts (DESIGN.md §5).
+const mapeWindow = 32
+
+// ForecastTrack pairs each model prediction with the later-observed
+// value for one quantity of one subtask (eq. 3 execution latency or
+// eq. 5 communication delay) and maintains residual statistics: an
+// absolute-residual histogram, signed bias, and a rolling MAPE.
+type ForecastTrack struct {
+	pending map[int]sim.Time // period → predicted, awaiting observation
+
+	matched  int
+	over     int // prediction > observation (conservative)
+	under    int // prediction < observation (optimistic — the dangerous side)
+	absResid Histogram
+	signedMS float64 // Σ (predicted − observed) in ms
+	mape     *stats.SlidingWindow
+}
+
+// NewForecastTrack returns an empty track.
+func NewForecastTrack() *ForecastTrack {
+	return &ForecastTrack{
+		pending: map[int]sim.Time{},
+		mape:    stats.NewSlidingWindow(mapeWindow),
+	}
+}
+
+// Predict records the model's forecast for a period.
+func (t *ForecastTrack) Predict(period int, v sim.Time) { t.pending[period] = v }
+
+// Observe matches an observation against the pending prediction for the
+// period, updating residual statistics. Observations without a matching
+// prediction are dropped (the period may predate telemetry enablement).
+func (t *ForecastTrack) Observe(period int, obs sim.Time) {
+	pred, ok := t.pending[period]
+	if !ok {
+		return
+	}
+	delete(t.pending, period)
+	t.matched++
+	resid := pred - obs
+	if resid >= 0 {
+		t.over++
+	} else {
+		t.under++
+	}
+	abs := resid
+	if abs < 0 {
+		abs = -abs
+	}
+	t.absResid.Record(abs)
+	t.signedMS += resid.Milliseconds()
+	if obs > 0 {
+		t.mape.Push(100 * abs.Milliseconds() / obs.Milliseconds())
+	}
+}
+
+// Matched returns the number of prediction/observation pairs seen.
+func (t *ForecastTrack) Matched() int { return t.matched }
+
+// MAPE returns the rolling mean absolute percentage error over the last
+// mapeWindow matched periods (0 before any match).
+func (t *ForecastTrack) MAPE() float64 {
+	if t.mape.Len() == 0 {
+		return 0
+	}
+	return t.mape.Mean()
+}
+
+// MeanErrorMS returns the signed mean residual (predicted − observed) in
+// milliseconds: positive means the model over-predicts.
+func (t *ForecastTrack) MeanErrorMS() float64 {
+	if t.matched == 0 {
+		return 0
+	}
+	return t.signedMS / float64(t.matched)
+}
+
+// TrackSnapshot is the exported state of one forecast track.
+type TrackSnapshot struct {
+	Matched    int     `json:"matched"`
+	Over       int     `json:"over_predictions"`
+	Under      int     `json:"under_predictions"`
+	MAPEPct    float64 `json:"rolling_mape_pct"`
+	MeanErrMS  float64 `json:"mean_error_ms"`
+	AbsP50MS   float64 `json:"abs_residual_p50_ms"`
+	AbsP95MS   float64 `json:"abs_residual_p95_ms"`
+	AbsP99MS   float64 `json:"abs_residual_p99_ms"`
+	AbsMaxMS   float64 `json:"abs_residual_max_ms"`
+	PendingNow int     `json:"pending"`
+}
+
+// Snapshot exports the track.
+func (t *ForecastTrack) Snapshot() TrackSnapshot {
+	return TrackSnapshot{
+		Matched:    t.matched,
+		Over:       t.over,
+		Under:      t.under,
+		MAPEPct:    t.MAPE(),
+		MeanErrMS:  t.MeanErrorMS(),
+		AbsP50MS:   t.absResid.Quantile(50).Milliseconds(),
+		AbsP95MS:   t.absResid.Quantile(95).Milliseconds(),
+		AbsP99MS:   t.absResid.Quantile(99).Milliseconds(),
+		AbsMaxMS:   t.absResid.Max().Milliseconds(),
+		PendingNow: len(t.pending),
+	}
+}
+
+// seriesKey identifies one subtask's forecast series.
+type seriesKey struct {
+	task  string
+	stage int
+}
+
+// ForecastSeries holds both tracked quantities for one subtask.
+type ForecastSeries struct {
+	Task  string
+	Stage int
+	Exec  *ForecastTrack // eq. (3) execution-latency forecasts
+	Comm  *ForecastTrack // eq. (5) communication-delay forecasts
+}
+
+// ForecastSet tracks forecast error for every (task, stage).
+type ForecastSet struct {
+	series map[seriesKey]*ForecastSeries
+}
+
+// NewForecastSet returns an empty set.
+func NewForecastSet() *ForecastSet {
+	return &ForecastSet{series: map[seriesKey]*ForecastSeries{}}
+}
+
+// Series returns the (task, stage) series, creating it on first use.
+func (f *ForecastSet) Series(task string, stage int) *ForecastSeries {
+	k := seriesKey{task, stage}
+	s, ok := f.series[k]
+	if !ok {
+		s = &ForecastSeries{Task: task, Stage: stage,
+			Exec: NewForecastTrack(), Comm: NewForecastTrack()}
+		f.series[k] = s
+	}
+	return s
+}
+
+// All returns every series sorted by (task, stage) for deterministic
+// rendering.
+func (f *ForecastSet) All() []*ForecastSeries {
+	out := make([]*ForecastSeries, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// SeriesSnapshot is the exported state of one subtask's forecasts.
+type SeriesSnapshot struct {
+	Task  string        `json:"task"`
+	Stage int           `json:"stage"`
+	Exec  TrackSnapshot `json:"exec"`
+	Comm  TrackSnapshot `json:"comm"`
+}
+
+// Snapshot exports every series.
+func (f *ForecastSet) Snapshot() []SeriesSnapshot {
+	all := f.All()
+	out := make([]SeriesSnapshot, len(all))
+	for i, s := range all {
+		out[i] = SeriesSnapshot{Task: s.Task, Stage: s.Stage,
+			Exec: s.Exec.Snapshot(), Comm: s.Comm.Snapshot()}
+	}
+	return out
+}
+
+func (s SeriesSnapshot) String() string {
+	return fmt.Sprintf("%s/%d exec MAPE %.1f%% comm MAPE %.1f%%",
+		s.Task, s.Stage, s.Exec.MAPEPct, s.Comm.MAPEPct)
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Histogram is an HDR-style log-linear histogram of non-negative
+// durations: values are bucketed by power-of-two magnitude, each
+// magnitude split into linear sub-buckets, bounding the relative
+// quantile error at 1/halfSub (≈3 %) with a fixed ~15 KB footprint and
+// zero allocation per Record. Quantiles are estimated through the shared
+// stats.BucketQuantile CDF interpolation.
+type Histogram struct {
+	counts [nBuckets]uint64
+	n      uint64
+	sum    sim.Time
+	min    sim.Time
+	max    sim.Time
+}
+
+const (
+	subBucketBits = 6
+	nSub          = 1 << subBucketBits // first nSub buckets have width 1 ns
+	halfSub       = nSub / 2
+	maxExp        = 63 - subBucketBits
+	nBuckets      = nSub + maxExp*halfSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < nSub {
+		return int(u)
+	}
+	exp := bits.Len64(u) - subBucketBits // ≥ 1
+	return nSub + (exp-1)*halfSub + int(u>>uint(exp)) - halfSub
+}
+
+// bucketBounds returns the (lo, hi] value range of a bucket.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < nSub {
+		return int64(idx) - 1, int64(idx)
+	}
+	exp := (idx-nSub)/halfSub + 1
+	r := int64((idx-nSub)%halfSub + halfSub)
+	return (r << uint(exp)) - 1, (r+1)<<uint(exp) - 1
+}
+
+// Record folds in one duration; negative values clamp to zero.
+func (h *Histogram) Record(v sim.Time) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(int64(v))]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the total of recorded values.
+func (h *Histogram) Sum() sim.Time { return h.sum }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() sim.Time {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Mean returns the mean recorded value (0 when empty).
+func (h *Histogram) Mean() sim.Time {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.n)
+}
+
+// Buckets returns the non-empty bins as a CDF for stats.BucketQuantile.
+func (h *Histogram) Buckets() []stats.Bucket {
+	var out []stats.Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, stats.Bucket{Lo: float64(lo), Hi: float64(hi), Count: c})
+	}
+	return out
+}
+
+// Quantile returns the p-th percentile (0 ≤ p ≤ 100) as a duration,
+// clamped to the exactly-tracked [Min, Max] envelope; it returns 0 when
+// the histogram is empty.
+func (h *Histogram) Quantile(p float64) sim.Time {
+	if h.n == 0 {
+		return 0
+	}
+	q := sim.Time(stats.BucketQuantile(h.Buckets(), p))
+	if q < h.min {
+		q = h.min
+	}
+	if q > h.max {
+		q = h.max
+	}
+	return q
+}
+
+// LinearHistogram is a fixed-range, fixed-width histogram for bounded
+// dimensionless quantities (ratios); out-of-range values clamp to the
+// edge buckets. Record is allocation-free.
+type LinearHistogram struct {
+	lo, hi float64
+	counts []uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewLinearHistogram returns a histogram of n equal-width buckets over
+// [lo, hi].
+func NewLinearHistogram(lo, hi float64, n int) *LinearHistogram {
+	if n < 1 || hi <= lo {
+		panic(fmt.Sprintf("telemetry: bad linear histogram [%v,%v)/%d", lo, hi, n))
+	}
+	return &LinearHistogram{lo: lo, hi: hi, counts: make([]uint64, n)}
+}
+
+// Record folds in one observation.
+func (h *LinearHistogram) Record(v float64) {
+	idx := int(float64(len(h.counts)) * (v - h.lo) / (h.hi - h.lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of recorded values.
+func (h *LinearHistogram) Count() uint64 { return h.n }
+
+// Mean returns the mean recorded value (0 when empty).
+func (h *LinearHistogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *LinearHistogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *LinearHistogram) Max() float64 { return h.max }
+
+// Buckets returns the non-empty bins for stats.BucketQuantile.
+func (h *LinearHistogram) Buckets() []stats.Bucket {
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	var out []stats.Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.lo + float64(i)*width
+		out = append(out, stats.Bucket{Lo: lo, Hi: lo + width, Count: c})
+	}
+	return out
+}
+
+// Quantile returns the p-th percentile (0 ≤ p ≤ 100), clamped to the
+// observed [Min, Max]; it returns 0 when empty.
+func (h *LinearHistogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	q := stats.BucketQuantile(h.Buckets(), p)
+	if q < h.min {
+		q = h.min
+	}
+	if q > h.max {
+		q = h.max
+	}
+	return q
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns the live-exposition HTTP handler:
+//
+//	/metrics        Prometheus text format
+//	/snapshot.json  aggregate JSON snapshot
+//	/trace.json     Chrome trace_event JSON
+//
+// All endpoints are safe to hit while a run is in flight (the recorder's
+// mutex serializes against hot-path recording).
+func (r *Recorder) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteSnapshot(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "rm telemetry: /metrics | /snapshot.json | /trace.json")
+	})
+	return mux
+}
+
+// Serve starts the live exposition on addr (e.g. ":8080") in a
+// background goroutine and returns the server and its bound address;
+// callers stop it with srv.Close.
+func (r *Recorder) Serve(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: %w", err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

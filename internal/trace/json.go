@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/task"
+)
+
+// PeriodJSON is the canonical JSON shape of one completed instance; the
+// export package aliases it so every serialization path shares one
+// encoder. Times are milliseconds as floats, the unit the paper reports
+// in.
+type PeriodJSON struct {
+	Period    int         `json:"period"`
+	Items     int         `json:"items"`
+	LatencyMS float64     `json:"latency_ms"`
+	Missed    bool        `json:"missed"`
+	Stages    []StageJSON `json:"stages"`
+}
+
+// StageJSON is one stage's observation within a period.
+type StageJSON struct {
+	ExecMS   float64 `json:"exec_ms"`
+	CommMS   float64 `json:"comm_ms"`
+	Replicas int     `json:"replicas"`
+}
+
+// EventJSON is the canonical JSON shape of one adaptation action.
+type EventJSON struct {
+	AtMS   float64 `json:"at_ms"`
+	Period int     `json:"period"`
+	Task   string  `json:"task"`
+	Stage  int     `json:"stage"`
+	Kind   string  `json:"kind"`
+	Procs  []int   `json:"procs,omitempty"`
+}
+
+// PeriodToJSON converts one period record.
+func PeriodToJSON(r *task.PeriodRecord) PeriodJSON {
+	p := PeriodJSON{
+		Period:    r.Period,
+		Items:     r.Items,
+		LatencyMS: r.EndToEnd().Milliseconds(),
+		Missed:    r.Missed(),
+	}
+	for _, st := range r.Stages {
+		p.Stages = append(p.Stages, StageJSON{
+			ExecMS:   st.ExecLatency().Milliseconds(),
+			CommMS:   st.CommLatency().Milliseconds(),
+			Replicas: st.Replicas,
+		})
+	}
+	return p
+}
+
+// EventToJSON converts one adaptation event.
+func EventToJSON(e AdaptationEvent) EventJSON {
+	return EventJSON{
+		AtMS:   e.At.Milliseconds(),
+		Period: e.Period,
+		Task:   e.Task,
+		Stage:  e.Stage,
+		Kind:   string(e.Kind),
+		Procs:  e.Procs,
+	}
+}
+
+// LogJSON is the JSON document WriteJSON emits: the log's full contents,
+// the JSON counterpart of the two CSV writers.
+type LogJSON struct {
+	Records []PeriodJSON `json:"records"`
+	Events  []EventJSON  `json:"events"`
+}
+
+// WriteJSON emits the whole log — records and events — as indented JSON.
+func (l *Log) WriteJSON(w io.Writer) error {
+	doc := LogJSON{
+		Records: make([]PeriodJSON, 0, len(l.records)),
+		Events:  make([]EventJSON, 0, len(l.events)),
+	}
+	for _, r := range l.records {
+		doc.Records = append(doc.Records, PeriodToJSON(r))
+	}
+	for _, e := range l.events {
+		doc.Events = append(doc.Events, EventToJSON(e))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: write json: %w", err)
+	}
+	return nil
+}
+
+// ReadLogJSON parses a document written by WriteJSON.
+func ReadLogJSON(r io.Reader) (LogJSON, error) {
+	var doc LogJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return LogJSON{}, fmt.Errorf("trace: read json: %w", err)
+	}
+	return doc, nil
+}

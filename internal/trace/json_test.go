@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func sampleLog() *Log {
+	l := NewLog()
+	l.Record(&task.PeriodRecord{
+		Period: 0, Items: 50,
+		ReleasedAt: 0, CompletedAt: 400 * sim.Millisecond,
+		Deadline: sim.Second,
+		Stages: []task.StageObservation{
+			{ReadyAt: 0, DoneAt: 300 * sim.Millisecond, DeliveredAt: 350 * sim.Millisecond, Replicas: 1},
+			{ReadyAt: 350 * sim.Millisecond, DoneAt: 400 * sim.Millisecond, DeliveredAt: 400 * sim.Millisecond, Replicas: 2},
+		},
+	})
+	l.Record(&task.PeriodRecord{
+		Period: 1, Items: 60,
+		ReleasedAt: sim.Second, CompletedAt: sim.Second + 1200*sim.Millisecond,
+		Deadline: 2 * sim.Second,
+		Stages:   []task.StageObservation{{Replicas: 1}, {Replicas: 1}},
+	})
+	l.Adaptation(AdaptationEvent{
+		At: 2 * sim.Second, Period: 2, Task: "aaw", Stage: 1,
+		Kind: ActionReplicate, Procs: []int{3},
+	})
+	l.Adaptation(AdaptationEvent{
+		At: 3 * sim.Second, Period: 3, Task: "aaw", Stage: 1,
+		Kind: ActionAllocFailure,
+	})
+	return l
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	doc, err := ReadLogJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadLogJSON: %v", err)
+	}
+	want := LogJSON{
+		Records: []PeriodJSON{PeriodToJSON(l.Records()[0]), PeriodToJSON(l.Records()[1])},
+		Events:  []EventJSON{EventToJSON(l.Events()[0]), EventToJSON(l.Events()[1])},
+	}
+	if !reflect.DeepEqual(doc, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", doc, want)
+	}
+}
+
+func TestWriteJSONMatchesCSVContent(t *testing.T) {
+	// The JSON and CSV writers must agree on the derived values.
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	doc, err := ReadLogJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadLogJSON: %v", err)
+	}
+	r0 := doc.Records[0]
+	if r0.LatencyMS != 400 {
+		t.Errorf("latency_ms = %v, want 400", r0.LatencyMS)
+	}
+	if r0.Missed {
+		t.Error("record 0 marked missed; completed well before its deadline")
+	}
+	if got := r0.Stages[0]; got.ExecMS != 300 || got.CommMS != 50 || got.Replicas != 1 {
+		t.Errorf("stage 0 = %+v, want exec 300ms, comm 50ms, 1 replica", got)
+	}
+	if e := doc.Events[0]; e.AtMS != 2000 || e.Kind != "replicate" || len(e.Procs) != 1 {
+		t.Errorf("event 0 = %+v", e)
+	}
+	if e := doc.Events[1]; e.Procs != nil {
+		t.Errorf("event without procs round-tripped as %v, want nil (omitempty)", e.Procs)
+	}
+}
+
+func TestWriteJSONEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewLog().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	doc, err := ReadLogJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadLogJSON: %v", err)
+	}
+	if len(doc.Records) != 0 || len(doc.Events) != 0 {
+		t.Errorf("empty log round-tripped as %+v", doc)
+	}
+}
