@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench vet fmt all
+# Benchmarks recorded by bench-json; Table 1 system construction is the
+# allocation-tracked canary for hot-path regressions.
+BENCH_PATTERN ?= BenchmarkTable1BaselineSystemConstruction|BenchmarkEngineEventThroughput|BenchmarkSegmentThroughput|BenchmarkFig9TriangularPredictive
+BENCH_COUNT ?= 5
+BENCH_LABEL ?= current
+
+.PHONY: build test race bench bench-json check golden vet fmt all
 
 all: build test
 
@@ -11,13 +17,31 @@ test:
 	$(GO) test ./...
 
 # The engine is single-threaded by design, but telemetry's HTTP exposition
-# reads recorder state from handler goroutines — keep the hot paths and
-# their locking honest under the race detector.
+# reads recorder state from handler goroutines, and experiment sweeps fan
+# simulations across workers — keep the hot paths, their locking, and the
+# sweep cache honest under the race detector.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/core/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/experiment/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/telemetry/...
+
+# bench-json records the hot-path benchmarks into BENCH_1.json under
+# $(BENCH_LABEL), preserving other labels (e.g. the committed
+# pre-optimization baseline). Raw lines are kept benchstat-comparable:
+#   jq -r '.labels.baseline.lines[]' BENCH_1.json | benchstat /dev/stdin
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) . \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_1.json
+
+# golden re-runs the determinism harness; use UPDATE=1 after an
+# intentional model change to regenerate the snapshots.
+golden:
+	$(GO) test ./internal/experiment -run Golden $(if $(UPDATE),-update)
+
+# check is the full pre-merge gate: build, vet, all tests, and the
+# race-enabled packages.
+check: build vet test race
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` output into a labelled JSON
+// record, merging into an existing file so successive snapshots (e.g. a
+// pre-optimization baseline and the current state) live side by side.
+//
+// The raw benchmark lines are preserved verbatim under each label, so any
+// snapshot stays benchstat-comparable:
+//
+//	go test -run '^$' -bench Table1 -benchmem -count 5 . | benchjson -label current -out BENCH_1.json
+//	jq -r '.labels.baseline.lines[]' BENCH_1.json > old.txt
+//	jq -r '.labels.current.lines[]'  BENCH_1.json > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one parsed benchmark result line.
+type Run struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one labelled benchmark recording.
+type Snapshot struct {
+	Recorded string   `json:"recorded"`
+	Goos     string   `json:"goos,omitempty"`
+	Goarch   string   `json:"goarch,omitempty"`
+	CPU      string   `json:"cpu,omitempty"`
+	Lines    []string `json:"lines"`
+	Runs     []Run    `json:"runs"`
+}
+
+// File is the merged on-disk layout.
+type File struct {
+	Labels map[string]*Snapshot `json:"labels"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "current", "name for this snapshot within the output file")
+		out   = flag.String("out", "BENCH_1.json", "JSON file to merge the snapshot into")
+	)
+	flag.Parse()
+
+	snap := &Snapshot{Recorded: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			snap.Lines = append(snap.Lines, line)
+			if r, ok := parseLine(line); ok {
+				snap.Runs = append(snap.Runs, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Runs) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	f := &File{Labels: map[string]*Snapshot{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, f); err != nil {
+			fatal(fmt.Errorf("existing %s is not a benchjson file: %w", *out, err))
+		}
+		if f.Labels == nil {
+			f.Labels = map[string]*Snapshot{}
+		}
+	}
+	f.Labels[*label] = snap
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: recorded %d run(s) under label %q in %s\n", len(snap.Runs), *label, *out)
+}
+
+// parseLine parses one `BenchmarkX  N  123 ns/op  45 B/op  6 allocs/op
+// 7.8 custom-unit` result line.
+func parseLine(line string) (Run, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Run{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Run{}, false
+	}
+	r := Run{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

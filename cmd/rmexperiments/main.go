@@ -29,6 +29,7 @@ func main() {
 		md       = flag.String("md", "", "write a single Markdown report to this file")
 		quick    = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		checkDet = flag.Bool("check-determinism", false, "run each experiment twice (serial, then parallel with a cold cache) and fail unless the outputs are byte-identical")
 	)
 	flag.Parse()
 
@@ -48,6 +49,11 @@ func main() {
 		todo = []experiment.Experiment{e}
 	} else {
 		todo = experiment.All()
+	}
+
+	if *checkDet {
+		checkDeterminism(todo, *quick, *parallel)
+		return
 	}
 
 	ctx := experiment.Context{Parallelism: *parallel, Quick: *quick}
@@ -90,6 +96,57 @@ func main() {
 		}
 		fmt.Printf("markdown report written to %s\n", *md)
 	}
+}
+
+// checkDeterminism renders every experiment twice — once with serial
+// simulations, once with the full worker pool — resetting the sweep
+// cache before each run so both actually execute. Any byte difference
+// in the rendered tables, charts, or CSVs is a determinism regression
+// (scheduling order leaking into results) and exits non-zero.
+func checkDeterminism(todo []experiment.Experiment, quick bool, parallel int) {
+	failed := false
+	for _, e := range todo {
+		start := time.Now()
+		serial, err := fingerprint(e, experiment.Context{Parallelism: 1, Quick: quick})
+		if err != nil {
+			fatal(fmt.Errorf("%s (serial): %w", e.ID, err))
+		}
+		concurrent, err := fingerprint(e, experiment.Context{Parallelism: parallel, Quick: quick})
+		if err != nil {
+			fatal(fmt.Errorf("%s (parallel): %w", e.ID, err))
+		}
+		if serial == concurrent {
+			fmt.Printf("ok   %-14s serial == parallel (%d bytes) [%v]\n",
+				e.ID, len(serial), time.Since(start).Round(time.Millisecond))
+		} else {
+			failed = true
+			fmt.Printf("FAIL %-14s serial and parallel outputs differ (%d vs %d bytes)\n",
+				e.ID, len(serial), len(concurrent))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// fingerprint runs one experiment against a cold sweep cache and returns
+// its full rendered output plus every table's CSV.
+func fingerprint(e experiment.Experiment, ctx experiment.Context) (string, error) {
+	experiment.ResetSweepCache()
+	out, err := e.Run(ctx)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := out.Render(&b); err != nil {
+		return "", err
+	}
+	for _, t := range out.Tables {
+		if err := t.WriteCSV(&b); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
 }
 
 func writeFiles(dir string, o experiment.Output) error {

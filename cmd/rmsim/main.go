@@ -107,6 +107,7 @@ func main() {
 	fmt.Printf("adaptations      %d replications, %d shutdowns, %d allocation failures\n",
 		m.Replications, m.Shutdowns, m.AllocFailures)
 	fmt.Printf("combined metric  C = %.2f\n", m.Combined())
+	fmt.Printf("events fired     %d (identical seeds must match exactly)\n", res.EventsFired)
 
 	if len(res.Records) > 0 {
 		lat := make([]float64, len(res.Records))

@@ -18,4 +18,8 @@ type Result struct {
 	// MaxClockOffset is the largest client-vs-server clock error at the
 	// end of the run; zero unless Config.ClockSync is enabled.
 	MaxClockOffset sim.Time
+	// EventsFired is the total number of engine events the run executed.
+	// Two runs of the same configuration must report the same count — a
+	// cheap determinism fingerprint alongside the full trace.
+	EventsFired uint64
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/cpu"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -11,6 +9,10 @@ import (
 
 // instance is one in-flight period of a task. Replica placement is frozen
 // at launch; adaptation between periods changes only future instances.
+//
+// Instances are recycled through the owning runtimeTask's free list: the
+// slice storage survives across periods, so a steady-state period launch
+// allocates only the PeriodRecord (which the trace log retains).
 type instance struct {
 	rt  *runtimeTask
 	rec *task.PeriodRecord
@@ -22,49 +24,141 @@ type instance struct {
 	pendingJobs []int   // outstanding CPU jobs per stage
 	pendingMsgs [][]int // per stage, per replica, inputs still in flight
 	readyCount  []int   // replicas of the stage whose inputs are complete
+
+	nextFree *instance
 }
 
-// taskMessageMeta marks messages the facade records itself (with task,
-// stage and period context); the segment-level telemetry observer skips
-// them so they are not double-counted as system traffic.
-var taskMessageMeta = new(struct{})
+// replicaJob carries one replica execution's context plus its embedded
+// cpu.Job. Pooled on the system so a steady-state submit allocates
+// nothing: the completion callback is bound once, at node creation.
+type replicaJob struct {
+	s          *system
+	inst       *instance
+	stage, idx int
+	proc       int
+	demand     sim.Time
+	job        cpu.Job
+	nextFree   *replicaJob
+}
+
+// taskMsg carries one inter-stage message's delivery context; pooled like
+// replicaJob, with the OnDeliver callback bound once.
+type taskMsg struct {
+	s        *system
+	inst     *instance
+	stage    int // destination stage
+	destIdx  int
+	nextFree *taskMsg
+}
+
+// Task messages carry their *taskMsg context in Meta; the segment-level
+// telemetry observer recognizes that type and skips them so they are not
+// double-counted as system traffic (the facade records them itself, with
+// task/stage/period context).
+
+// newReplicaJob takes a context from the free list, or allocates one and
+// binds its completion callback.
+func (s *system) newReplicaJob() *replicaJob {
+	rj := s.freeRJ
+	if rj == nil {
+		rj = &replicaJob{s: s}
+		rj.job.OnComplete = rj.onComplete
+		return rj
+	}
+	s.freeRJ = rj.nextFree
+	rj.nextFree = nil
+	return rj
+}
+
+func (s *system) freeReplicaJob(rj *replicaJob) {
+	rj.inst = nil
+	rj.nextFree = s.freeRJ
+	s.freeRJ = rj
+}
+
+func (s *system) newTaskMsg() *taskMsg {
+	tm := s.freeTM
+	if tm == nil {
+		return &taskMsg{s: s}
+	}
+	s.freeTM = tm.nextFree
+	tm.nextFree = nil
+	return tm
+}
+
+func (s *system) freeTaskMsg(tm *taskMsg) {
+	tm.inst = nil
+	tm.nextFree = s.freeTM
+	s.freeTM = tm
+}
+
+// newInstance recycles an instance from rt's free list (resizing its
+// per-stage storage for the current replica counts) or builds a fresh
+// one. The PeriodRecord is always freshly allocated: the trace log and
+// the monitor retain it beyond the instance's life.
+func (s *system) newInstance(rt *runtimeTask, c, items, n int) *instance {
+	now := s.eng.Now()
+	inst := rt.freeInst
+	if inst == nil {
+		inst = &instance{
+			placements:  make([][]int, n),
+			shares:      make([][]int, n),
+			halo:        make([]int, n),
+			pendingJobs: make([]int, n),
+			pendingMsgs: make([][]int, n),
+			readyCount:  make([]int, n),
+		}
+	} else {
+		rt.freeInst = inst.nextFree
+		inst.nextFree = nil
+	}
+	inst.rt = rt
+	inst.rec = &task.PeriodRecord{
+		Period:     c,
+		Items:      items,
+		ReleasedAt: now,
+		Deadline:   now + rt.setup.Spec.Deadline,
+		Stages:     make([]task.StageObservation, n),
+	}
+	return inst
+}
+
+func (s *system) releaseInstance(inst *instance) {
+	rt := inst.rt
+	inst.rt = nil
+	inst.rec = nil
+	inst.nextFree = rt.freeInst
+	rt.freeInst = inst
+}
 
 // launch releases one period's instance into the system.
 func (s *system) launch(rt *runtimeTask, c, items int) {
 	spec := rt.setup.Spec
 	n := len(spec.Subtasks)
-	now := s.eng.Now()
-	inst := &instance{
-		rt: rt,
-		rec: &task.PeriodRecord{
-			Period:     c,
-			Items:      items,
-			ReleasedAt: now,
-			Deadline:   now + spec.Deadline,
-			Stages:     make([]task.StageObservation, n),
-		},
-		placements:  make([][]int, n),
-		shares:      make([][]int, n),
-		halo:        make([]int, n),
-		pendingJobs: make([]int, n),
-		pendingMsgs: make([][]int, n),
-		readyCount:  make([]int, n),
-	}
+	inst := s.newInstance(rt, c, items, n)
 	for i := 0; i < n; i++ {
-		inst.placements[i] = rt.dep.Replicas(i)
+		inst.placements[i] = rt.dep.AppendReplicas(i, inst.placements[i][:0])
 		k := len(inst.placements[i])
-		inst.shares[i] = task.SplitItems(items, k)
+		inst.shares[i] = task.SplitItemsInto(inst.shares[i], items, k)
+		inst.halo[i] = 0
 		if k > 1 {
 			inst.halo[i] = int(s.cfg.OverlapFraction * float64(items))
 		}
 		inst.pendingJobs[i] = k
-		inst.pendingMsgs[i] = make([]int, k)
-		if i > 0 {
-			kPrev := len(inst.placements[i-1])
-			for j := range inst.pendingMsgs[i] {
-				inst.pendingMsgs[i][j] = kPrev
-			}
+		pm := inst.pendingMsgs[i]
+		if cap(pm) < k {
+			pm = make([]int, k)
 		}
+		pm = pm[:k]
+		kPrev := 0
+		if i > 0 {
+			kPrev = len(inst.placements[i-1])
+		}
+		for j := range pm {
+			pm[j] = kPrev
+		}
+		inst.pendingMsgs[i] = pm
+		inst.readyCount[i] = 0
 		inst.rec.Stages[i].Replicas = k
 	}
 	rt.inFlight++
@@ -105,19 +199,25 @@ func (s *system) submitReplicaJob(inst *instance, stage, idx int) {
 	if inst.rt.dep.ConsumeWarmup(stage, proc) {
 		demand += s.cfg.WarmupDemand
 	}
-	j := &cpu.Job{
-		Name:   fmt.Sprintf("%s/%s#%d.%d", spec.Name, spec.Subtasks[stage].Name, inst.rec.Period, idx),
-		Demand: demand,
-	}
-	j.OnComplete = func(at sim.Time) {
-		// Attribute the CPU time to this task so utilization
-		// sampling can separate own work from background.
-		inst.rt.ownBusy[proc] += demand
-		s.tel.RecordExec(spec.Name, stage, inst.rec.Period, proc,
-			inst.replicaInputItems(stage, idx), j.SubmittedAt, j.StartedAt, at)
-		s.replicaDone(inst, stage, idx, at)
-	}
-	s.procs[proc].Submit(j)
+	rj := s.newReplicaJob()
+	rj.inst, rj.stage, rj.idx, rj.proc, rj.demand = inst, stage, idx, proc, demand
+	rj.job.Name = spec.Subtasks[stage].Name
+	rj.job.Demand = demand
+	s.procs[proc].Submit(&rj.job)
+}
+
+// onComplete is the pooled completion callback for a replica job.
+func (rj *replicaJob) onComplete(at sim.Time) {
+	s, inst, stage, idx := rj.s, rj.inst, rj.stage, rj.idx
+	// Attribute the CPU time to this task so utilization sampling can
+	// separate own work from background.
+	inst.rt.ownBusy[rj.proc] += rj.demand
+	s.tel.RecordExec(inst.rt.setup.Spec.Name, stage, inst.rec.Period, rj.proc,
+		inst.replicaInputItems(stage, idx), rj.job.SubmittedAt, rj.job.StartedAt, at)
+	// The context is done before replicaDone runs: nothing downstream
+	// submits synchronously into this burst, and all fields are copied.
+	s.freeReplicaJob(rj)
+	s.replicaDone(inst, stage, idx, at)
 }
 
 // replicaDone handles one replica's completion: forward its output to
@@ -140,24 +240,35 @@ func (s *system) replicaDone(inst *instance, stage, idx int, at sim.Time) {
 	}
 	next := inst.placements[stage+1]
 	srcProc := inst.placements[stage][idx]
-	perDest := task.SplitItems(inst.shares[stage][idx], len(next))
-	haloPerMsg := task.SplitItems(inst.halo[stage+1], len(inst.placements[stage]))
+	s.perDestBuf = task.SplitItemsInto(s.perDestBuf, inst.shares[stage][idx], len(next))
+	s.haloBuf = task.SplitItemsInto(s.haloBuf, inst.halo[stage+1], len(inst.placements[stage]))
+	perDest, haloPerMsg := s.perDestBuf, s.haloBuf
 	bytesPerItem := spec.Subtasks[stage].OutBytesPerItem
 	for j, destProc := range next {
-		j, destProc := j, destProc
 		payloadItems := perDest[j] + haloPerMsg[idx]
-		s.seg.Send(&network.Message{
-			From:         srcProc,
-			To:           destProc,
-			PayloadBytes: int64(payloadItems * bytesPerItem),
-			Meta:         taskMessageMeta,
-			OnDeliver: func(m *network.Message) {
-				s.tel.RecordMessage(spec.Name, stage+1, inst.rec.Period,
-					m.From, m.To, m.PayloadBytes, m.EnqueuedAt, m.SentAt, m.DeliveredAt)
-				s.msgArrived(inst, stage+1, j, m.DeliveredAt)
-			},
-		})
+		tm := s.newTaskMsg()
+		tm.inst, tm.stage, tm.destIdx = inst, stage+1, j
+		m := s.seg.AcquireMessage()
+		m.From = srcProc
+		m.To = destProc
+		m.PayloadBytes = int64(payloadItems * bytesPerItem)
+		m.Meta = tm
+		m.OnDeliver = deliverTaskMsg
+		s.seg.Send(m)
 	}
+}
+
+// deliverTaskMsg is the shared OnDeliver for all task messages; the
+// per-message context rides in Meta, so no per-send closure is needed.
+func deliverTaskMsg(m *network.Message) {
+	tm := m.Meta.(*taskMsg)
+	s, inst, stage, destIdx := tm.s, tm.inst, tm.stage, tm.destIdx
+	s.tel.RecordMessage(inst.rt.setup.Spec.Name, stage, inst.rec.Period,
+		m.From, m.To, m.PayloadBytes, m.EnqueuedAt, m.SentAt, m.DeliveredAt)
+	at := m.DeliveredAt
+	s.freeTaskMsg(tm)
+	s.seg.ReleaseMessage(m)
+	s.msgArrived(inst, stage, destIdx, at)
 }
 
 // msgArrived tracks per-replica input completion for a stage.
@@ -203,4 +314,7 @@ func (s *system) complete(inst *instance) {
 	if last == nil || inst.rec.Period > last.Period {
 		inst.rt.lastCompleted = inst.rec
 	}
+	// All jobs and messages of this period have finished; the instance
+	// can serve the next period.
+	s.releaseInstance(inst)
 }

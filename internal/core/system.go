@@ -40,6 +40,14 @@ type system struct {
 	down []bool
 
 	tasks []*runtimeTask
+
+	// Free lists for the per-period hot path (see instance.go): replica
+	// job contexts, task message contexts, and fan-out scratch. The engine
+	// is single-threaded, so none of these need locking.
+	freeRJ     *replicaJob
+	freeTM     *taskMsg
+	perDestBuf []int
+	haloBuf    []int
 }
 
 // nodeNow returns the node-local clock reading (true time when clock
@@ -75,6 +83,13 @@ type runtimeTask struct {
 
 	lastCompleted *task.PeriodRecord
 	inFlight      int
+
+	// Per-period scratch reused across estimateChain/deriveAssignment
+	// calls (AssignEQF copies what it keeps), and the instance free list.
+	chainExec   []sim.Time
+	chainComm   []sim.Time
+	replScratch []int
+	freeInst    *instance
 }
 
 // sampleUtil refreshes utilSnapshot for a new monitoring window.
@@ -120,6 +135,8 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 		tel:       cfg.Telemetry,
 	}
 	s.seg = network.NewSegment(s.eng, cfg.Network)
+	s.procs = make([]cpu.Scheduler, 0, cfg.NumNodes)
+	s.sysMeters = make([]*cpu.Meter, 0, cfg.NumNodes)
 	for i := 0; i < cfg.NumNodes; i++ {
 		s.procs = append(s.procs, cpu.NewScheduler(s.eng, i, cfg.Slice, cfg.Discipline))
 		s.sysMeters = append(s.sysMeters, cpu.NewMeter(s.eng, s.procs[i]))
@@ -135,10 +152,10 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 			})
 		}
 		// The segment observer sees every delivery; task messages are
-		// recorded by the facade with full context and marked with a
-		// sentinel Meta, so only system traffic (clock sync) lands here.
+		// recorded by the facade with full context and marked by their
+		// *taskMsg Meta, so only system traffic (clock sync) lands here.
 		s.seg.SetObserver(func(m *network.Message) {
-			if m.Meta == taskMessageMeta {
+			if _, ok := m.Meta.(*taskMsg); ok {
 				return
 			}
 			s.tel.RecordMessage("", -1, -1, m.From, m.To, m.PayloadBytes,
@@ -199,6 +216,7 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 		Records:        s.log.Records(),
 		Events:         s.log.Events(),
 		MaxClockOffset: maxOffset,
+		EventsFired:    s.eng.EventsFired(),
 	}
 	return res, nil
 }
@@ -377,14 +395,23 @@ func (s *system) newRuntimeTask(setup TaskSetup) (*runtimeTask, error) {
 
 // deriveAssignment re-runs the EQF variant (eqs. 1–2) with the current
 // replica counts, observed utilizations and workload estimates.
+// estimateChain returns the chain estimates in scratch buffers owned by
+// rt: the result is only valid until the next estimateChain call, and
+// callers (AssignEQF, the telemetry Predict loop) must not retain it.
 func (rt *runtimeTask) estimateChain(s *system, items, totalItems int) deadline.Chain {
 	n := len(rt.setup.Spec.Subtasks)
-	chain := deadline.Chain{
-		Exec: make([]sim.Time, n),
-		Comm: make([]sim.Time, n),
+	if cap(rt.chainExec) < n {
+		rt.chainExec = make([]sim.Time, n)
+		rt.chainComm = make([]sim.Time, n)
 	}
+	chain := deadline.Chain{
+		Exec: rt.chainExec[:n],
+		Comm: rt.chainComm[:n],
+	}
+	chain.Comm[n-1] = 0
 	for i := 0; i < n; i++ {
-		replicas := rt.dep.Replicas(i)
+		rt.replScratch = rt.dep.AppendReplicas(i, rt.replScratch[:0])
+		replicas := rt.replScratch
 		k := len(replicas)
 		share := (items + k - 1) / k
 		if k > 1 {
@@ -555,13 +582,16 @@ func (s *system) adapt(rt *runtimeTask, c, items int) {
 
 // newProcs returns the processors present in after but not before.
 func newProcs(before, after []int) []int {
-	seen := make(map[int]bool, len(before))
-	for _, p := range before {
-		seen[p] = true
-	}
 	var out []int
 	for _, p := range after {
-		if !seen[p] {
+		found := false
+		for _, q := range before {
+			if q == p {
+				found = true
+				break
+			}
+		}
+		if !found {
 			out = append(out, p)
 		}
 	}

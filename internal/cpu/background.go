@@ -29,6 +29,15 @@ type BackgroundLoad struct {
 
 	running  bool
 	produced sim.Time // total demand submitted
+
+	// Steady-state cycling allocates nothing: one Job struct is reused
+	// across chunks (the next submit strictly follows the previous
+	// completion), and the wake/complete callbacks are cached closures.
+	job      Job
+	onCycle  func()
+	sleep    sim.Time
+	wake     sim.Timer
+	inFlight bool
 }
 
 // NewBackgroundLoad returns a stopped background load with the given
@@ -38,7 +47,11 @@ func NewBackgroundLoad(eng *sim.Engine, proc Scheduler, quantum sim.Time, rng *r
 	if quantum <= 0 {
 		panic(fmt.Sprintf("cpu: non-positive background quantum %v", quantum))
 	}
-	return &BackgroundLoad{eng: eng, proc: proc, quantum: quantum, rng: rng}
+	b := &BackgroundLoad{eng: eng, proc: proc, quantum: quantum, rng: rng}
+	b.onCycle = b.cycle
+	b.job.Name = "background"
+	b.job.OnComplete = b.computeDone
+	return b
 }
 
 // SetTarget sets the desired utilization fraction in [0, 0.95].
@@ -65,11 +78,20 @@ func (b *BackgroundLoad) Start() {
 		return
 	}
 	b.running = true
+	if b.inFlight {
+		// The in-flight chunk's completion resumes the cycle; starting a
+		// second chain would double-submit the shared Job.
+		return
+	}
 	b.cycle()
 }
 
-// Stop ceases after the in-flight compute chunk, if any.
-func (b *BackgroundLoad) Stop() { b.running = false }
+// Stop ceases after the in-flight compute chunk, if any. A pending sleep
+// or idle-poll wake-up is cancelled.
+func (b *BackgroundLoad) Stop() {
+	b.running = false
+	b.wake.Cancel()
+}
 
 func (b *BackgroundLoad) cycle() {
 	if !b.running {
@@ -78,28 +100,33 @@ func (b *BackgroundLoad) cycle() {
 	if b.target == 0 {
 		// Idle poll: re-check the target each quantum so a later
 		// SetTarget takes effect.
-		b.eng.After(b.quantum, func() { b.cycle() })
+		b.wake = b.eng.After(b.quantum, b.onCycle)
 		return
 	}
 	compute := sim.Time(b.target * float64(b.quantum))
 	if b.rng != nil && b.jitter > 0 {
 		compute = sim.JitterTime(b.rng, compute, b.jitter)
 	}
-	sleep := b.quantum - sim.Time(b.target*float64(b.quantum))
+	b.sleep = b.quantum - sim.Time(b.target*float64(b.quantum))
 	if compute <= 0 {
-		b.eng.After(b.quantum, func() { b.cycle() })
+		b.wake = b.eng.After(b.quantum, b.onCycle)
 		return
 	}
 	b.produced += compute
-	b.proc.Submit(&Job{
-		Name:   "background",
-		Demand: compute,
-		OnComplete: func(sim.Time) {
-			if sleep > 0 {
-				b.eng.After(sleep, func() { b.cycle() })
-			} else {
-				b.cycle()
-			}
-		},
-	})
+	b.inFlight = true
+	b.job.Demand = compute
+	b.proc.Submit(&b.job)
+}
+
+// computeDone is the shared Job's completion callback.
+func (b *BackgroundLoad) computeDone(sim.Time) {
+	b.inFlight = false
+	if !b.running {
+		return
+	}
+	if b.sleep > 0 {
+		b.wake = b.eng.After(b.sleep, b.onCycle)
+	} else {
+		b.cycle()
+	}
 }

@@ -81,7 +81,10 @@ type PSProcessor struct {
 
 	active     []*psJob
 	lastUpdate sim.Time
-	timer      *sim.Timer
+	timer      sim.Timer
+	onDue      func()   // cached method closure: one alloc per processor
+	done       []*psJob // scratch reused across completeDue calls
+	free       *psJob   // recycled psJob nodes
 
 	cumBusy   sim.Time
 	completed uint64
@@ -94,11 +97,35 @@ type PSProcessor struct {
 type psJob struct {
 	job       *Job
 	remaining float64 // ns of pure demand left
+	nextFree  *psJob
 }
 
 // NewPSProcessor returns an idle processor-sharing CPU.
 func NewPSProcessor(eng *sim.Engine, id int) *PSProcessor {
-	return &PSProcessor{eng: eng, id: id}
+	p := &PSProcessor{eng: eng, id: id}
+	p.onDue = p.completeDue
+	return p
+}
+
+// newPSJob takes a node from the free list or allocates one.
+func (p *PSProcessor) newPSJob(j *Job) *psJob {
+	a := p.free
+	if a != nil {
+		p.free = a.nextFree
+		a.nextFree = nil
+	} else {
+		a = &psJob{}
+	}
+	a.job = j
+	a.remaining = float64(j.Demand)
+	return a
+}
+
+// freePSJob returns a node to the free list.
+func (p *PSProcessor) freePSJob(a *psJob) {
+	a.job = nil
+	a.nextFree = p.free
+	p.free = a
 }
 
 // ID implements Scheduler.
@@ -140,10 +167,8 @@ func (p *PSProcessor) advance() {
 
 // reschedule plans the next completion event.
 func (p *PSProcessor) reschedule() {
-	if p.timer != nil {
-		p.timer.Cancel()
-		p.timer = nil
-	}
+	p.timer.Cancel()
+	p.timer = sim.Timer{}
 	n := len(p.active)
 	if n == 0 {
 		return
@@ -160,7 +185,7 @@ func (p *PSProcessor) reschedule() {
 	// Round the wall-clock wait up: truncating down can schedule a
 	// zero-delay event that makes no fluid progress and loops forever.
 	wall := sim.Time(math.Ceil(min * float64(n)))
-	p.timer = p.eng.After(wall, p.completeDue)
+	p.timer = p.eng.After(wall, p.onDue)
 }
 
 // completeDue finishes every job whose fluid remaining has drained.
@@ -168,14 +193,19 @@ func (p *PSProcessor) completeDue() {
 	p.advance()
 	// Sub-nanosecond residue from float division counts as done.
 	const eps = 0.5
-	var done []*psJob
-	var still []*psJob
+	// Partition in place: still-active nodes compact to the front of
+	// p.active, drained ones collect in the reusable done scratch.
+	done := p.done[:0]
+	still := p.active[:0]
 	for _, a := range p.active {
 		if a.remaining <= eps {
 			done = append(done, a)
 		} else {
 			still = append(still, a)
 		}
+	}
+	for i := len(still); i < len(p.active); i++ {
+		p.active[i] = nil
 	}
 	p.active = still
 	now := p.eng.Now()
@@ -187,13 +217,19 @@ func (p *PSProcessor) completeDue() {
 	}
 	p.reschedule()
 	for _, a := range done {
+		j := a.job
+		p.freePSJob(a)
 		if p.observer != nil {
-			p.observer(p.id, a.job)
+			p.observer(p.id, j)
 		}
-		if a.job.OnComplete != nil {
-			a.job.OnComplete(now)
+		if j.OnComplete != nil {
+			j.OnComplete(now)
 		}
 	}
+	for i := range done {
+		done[i] = nil
+	}
+	p.done = done[:0]
 }
 
 // Submit implements Scheduler.
@@ -208,6 +244,7 @@ func (p *PSProcessor) Submit(j *Job) {
 	now := p.eng.Now()
 	j.SubmittedAt = now
 	j.remaining = j.Demand
+	j.started, j.done = false, false // allow Job reuse across submissions
 	if j.Demand == 0 {
 		j.started, j.done = true, true
 		j.StartedAt, j.CompletedAt = now, now
@@ -223,7 +260,7 @@ func (p *PSProcessor) Submit(j *Job) {
 	p.advance()
 	j.started = true
 	j.StartedAt = now
-	p.active = append(p.active, &psJob{job: j, remaining: float64(j.Demand)})
+	p.active = append(p.active, p.newPSJob(j))
 	p.reschedule()
 }
 
@@ -244,11 +281,13 @@ func (p *PSProcessor) Fail() {
 	p.advance()
 	p.failed = true
 	p.dropped += uint64(len(p.active))
-	p.active = nil
-	if p.timer != nil {
-		p.timer.Cancel()
-		p.timer = nil
+	for i, a := range p.active {
+		p.freePSJob(a)
+		p.active[i] = nil
 	}
+	p.active = p.active[:0]
+	p.timer.Cancel()
+	p.timer = sim.Timer{}
 }
 
 // Recover implements Scheduler.

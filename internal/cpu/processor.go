@@ -48,17 +48,66 @@ func (j *Job) Latency() sim.Time {
 	return j.CompletedAt - j.SubmittedAt
 }
 
+// jobRing is a circular ready queue: popping the head and rotating the
+// running job to the tail are index updates, not slice reallocations, so
+// steady-state round-robin interleaving allocates nothing.
+type jobRing struct {
+	buf  []*Job
+	head int
+	n    int
+}
+
+func (r *jobRing) len() int { return r.n }
+
+func (r *jobRing) push(j *Job) {
+	if r.n == len(r.buf) {
+		size := 2 * len(r.buf)
+		if size < 4 {
+			size = 4
+		}
+		buf := make([]*Job, size)
+		for i := 0; i < r.n; i++ {
+			buf[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = buf, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = j
+	r.n++
+}
+
+func (r *jobRing) front() *Job { return r.buf[r.head] }
+
+func (r *jobRing) popFront() *Job {
+	j := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return j
+}
+
+// rotate moves the running head job to the tail (round-robin).
+func (r *jobRing) rotate() { r.push(r.popFront()) }
+
+// reset empties the ring, dropping references so jobs can be collected.
+func (r *jobRing) reset() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = nil
+	}
+	r.head, r.n = 0, 0
+}
+
 // Processor is a single CPU with a round-robin ready queue.
 type Processor struct {
 	eng   *sim.Engine
 	id    int
 	slice sim.Time
 
-	queue        []*Job // queue[0] is running when busy
+	queue        jobRing // queue front is running when busy
 	busy         bool
 	burstStart   sim.Time
 	burstPlanned sim.Time
-	burstTimer   *sim.Timer
+	burstTimer   sim.Timer
+	onBurstEnd   func() // cached method closure: one alloc per processor, not per burst
 
 	cumBusy   sim.Time
 	completed uint64
@@ -74,7 +123,9 @@ func NewProcessor(eng *sim.Engine, id int, slice sim.Time) *Processor {
 	if slice <= 0 {
 		panic(fmt.Sprintf("cpu: non-positive slice %v", slice))
 	}
-	return &Processor{eng: eng, id: id, slice: slice}
+	p := &Processor{eng: eng, id: id, slice: slice}
+	p.onBurstEnd = p.burstEnd
+	return p
 }
 
 // ID returns the processor's identifier.
@@ -88,7 +139,7 @@ func (p *Processor) Slice() sim.Time { return p.slice }
 
 // QueueLen returns the number of jobs in the ready queue, including the
 // running one.
-func (p *Processor) QueueLen() int { return len(p.queue) }
+func (p *Processor) QueueLen() int { return p.queue.len() }
 
 // Busy reports whether a job is currently running.
 func (p *Processor) Busy() bool { return p.busy }
@@ -110,8 +161,8 @@ func (p *Processor) Fail() {
 		p.burstTimer.Cancel()
 		p.busy = false
 	}
-	p.dropped += uint64(len(p.queue))
-	p.queue = nil
+	p.dropped += uint64(p.queue.len())
+	p.queue.reset()
 }
 
 // Recover brings a failed processor back with an empty queue.
@@ -137,6 +188,7 @@ func (p *Processor) Submit(j *Job) {
 	now := p.eng.Now()
 	j.SubmittedAt = now
 	j.remaining = j.Demand
+	j.started, j.done = false, false // allow Job reuse across submissions
 	if j.Demand == 0 {
 		j.started, j.done = true, true
 		j.StartedAt, j.CompletedAt = now, now
@@ -149,7 +201,7 @@ func (p *Processor) Submit(j *Job) {
 		}
 		return
 	}
-	p.queue = append(p.queue, j)
+	p.queue.push(j)
 	if !p.busy {
 		p.dispatch()
 		return
@@ -170,39 +222,39 @@ func (p *Processor) Submit(j *Job) {
 		if boundary < plannedEnd {
 			p.burstTimer.Cancel()
 			p.burstPlanned = boundary - p.burstStart
-			p.burstTimer = p.eng.Schedule(boundary, p.burstEnd)
+			p.burstTimer = p.eng.Schedule(boundary, p.onBurstEnd)
 		}
 	}
 }
 
 // dispatch starts the job at the head of the queue, if any.
 func (p *Processor) dispatch() {
-	if len(p.queue) == 0 {
+	if p.queue.len() == 0 {
 		p.busy = false
 		return
 	}
 	p.busy = true
-	j := p.queue[0]
+	j := p.queue.front()
 	if !j.started {
 		j.started = true
 		j.StartedAt = p.eng.Now()
 	}
 	burst := j.remaining
-	if len(p.queue) > 1 && burst > p.slice {
+	if p.queue.len() > 1 && burst > p.slice {
 		burst = p.slice
 	}
 	p.burstStart = p.eng.Now()
 	p.burstPlanned = burst
-	p.burstTimer = p.eng.After(burst, p.burstEnd)
+	p.burstTimer = p.eng.After(burst, p.onBurstEnd)
 }
 
 // burstEnd accounts the finished burst, completing or rotating the job.
 func (p *Processor) burstEnd() {
-	j := p.queue[0]
+	j := p.queue.front()
 	j.remaining -= p.burstPlanned
 	p.cumBusy += p.burstPlanned
 	if j.remaining <= 0 {
-		p.queue = p.queue[1:]
+		p.queue.popFront()
 		j.done = true
 		j.CompletedAt = p.eng.Now()
 		p.completed++
@@ -216,8 +268,8 @@ func (p *Processor) burstEnd() {
 		return
 	}
 	// Rotate to the tail (round-robin) unless alone.
-	if len(p.queue) > 1 {
-		p.queue = append(p.queue[1:], j)
+	if p.queue.len() > 1 {
+		p.queue.rotate()
 	}
 	p.dispatch()
 }

@@ -1,0 +1,127 @@
+package deadline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randChain builds a random valid chain: positive exec estimates, comm
+// estimates that are zero (chain-internal gaps) or positive, with the
+// final comm always zero.
+func randChain(r *rand.Rand, n int) Chain {
+	c := Chain{Exec: make([]sim.Time, n), Comm: make([]sim.Time, n)}
+	for i := 0; i < n; i++ {
+		c.Exec[i] = sim.Time(1+r.Int64N(int64(50*sim.Millisecond))) + sim.Microsecond
+		if i < n-1 && r.IntN(4) > 0 {
+			c.Comm[i] = sim.Time(r.Int64N(int64(10 * sim.Millisecond)))
+		}
+	}
+	return c
+}
+
+func chainTotal(c Chain) sim.Time {
+	var t sim.Time
+	for i := range c.Exec {
+		t += c.Exec[i] + c.Comm[i]
+	}
+	return t
+}
+
+// TestPropertyAssignedDeadlinesTile: with enough end-to-end slack (no
+// minShare clamping), the assigned deadlines tile the end-to-end deadline
+// — their sum equals it up to integer-rounding residue — and never
+// overrun it.
+func TestPropertyAssignedDeadlinesTile(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 17))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + r.IntN(8)
+		c := randChain(r, n)
+		total := chainTotal(c)
+		// Slack factor ≥ 1: estimates fit, so no clamp fires.
+		endToEnd := total + sim.Time(r.Int64N(int64(total)+1))
+		a, err := AssignEQF(c, endToEnd)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		got := a.TotalAssigned()
+		// Each of the ≤2n assign() calls can lose under 1 ns to float
+		// truncation; the sum must never exceed the deadline.
+		if got > endToEnd {
+			t.Fatalf("iter %d: assigned %v exceeds end-to-end %v", iter, got, endToEnd)
+		}
+		if slack := endToEnd - got; slack > sim.Time(2*n) {
+			t.Fatalf("iter %d: assigned %v leaves %v unassigned (want < %dns rounding residue)",
+				iter, got, slack, 2*n)
+		}
+	}
+}
+
+// TestPropertyAssignedDeadlinesPositive: every subtask deadline is
+// strictly positive and every message deadline is positive exactly when
+// its comm estimate is, even under heavy overload (estimates far
+// exceeding the end-to-end deadline).
+func TestPropertyAssignedDeadlinesPositive(t *testing.T) {
+	r := rand.New(rand.NewPCG(23, 5))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + r.IntN(8)
+		c := randChain(r, n)
+		// Deadlines from generous down to crushing overload.
+		endToEnd := sim.Time(1 + r.Int64N(int64(chainTotal(c))*2))
+		a, err := AssignEQF(c, endToEnd)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for i := 0; i < n; i++ {
+			if a.Subtask[i] <= 0 {
+				t.Fatalf("iter %d: subtask %d deadline %v not positive (endToEnd %v)",
+					iter, i, a.Subtask[i], endToEnd)
+			}
+			if a.Subtask[i] < minShare(c.Exec[i]) {
+				t.Fatalf("iter %d: subtask %d deadline %v below its minShare floor %v",
+					iter, i, a.Subtask[i], minShare(c.Exec[i]))
+			}
+			switch {
+			case c.Comm[i] > 0 && a.Message[i] <= 0:
+				t.Fatalf("iter %d: message %d deadline %v not positive for comm %v",
+					iter, i, a.Message[i], c.Comm[i])
+			case c.Comm[i] == 0 && a.Message[i] != 0:
+				t.Fatalf("iter %d: message %d deadline %v for zero comm", iter, i, a.Message[i])
+			}
+		}
+	}
+}
+
+// TestPropertyMonotonicInSlack: growing the end-to-end deadline never
+// shrinks any component's assigned deadline (beyond 1 ns of float
+// truncation per component).
+func TestPropertyMonotonicInSlack(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 41))
+	const tol = sim.Time(2) // ns; assign() truncates float products
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + r.IntN(8)
+		c := randChain(r, n)
+		total := chainTotal(c)
+		d1 := sim.Time(1 + r.Int64N(int64(total)*2))
+		d2 := d1 + sim.Time(1+r.Int64N(int64(total)))
+		a1, err := AssignEQF(c, d1)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		a2, err := AssignEQF(c, d2)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for i := 0; i < n; i++ {
+			if a2.Subtask[i]+tol < a1.Subtask[i] {
+				t.Fatalf("iter %d: subtask %d deadline shrank %v → %v when end-to-end grew %v → %v",
+					iter, i, a1.Subtask[i], a2.Subtask[i], d1, d2)
+			}
+			if a2.Message[i]+tol < a1.Message[i] {
+				t.Fatalf("iter %d: message %d deadline shrank %v → %v when end-to-end grew %v → %v",
+					iter, i, a1.Message[i], a2.Message[i], d1, d2)
+			}
+		}
+	}
+}

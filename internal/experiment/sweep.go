@@ -82,8 +82,18 @@ func Sweep(points []int, factory PatternFactory, parallelism int) ([]PointResult
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One TaskSetup per worker, reused across its points: the
+			// dynbench demand curves and fitted models are pure, so only
+			// the Pattern differs between points. Each core.Run still
+			// builds its own engine and rng from the point's seed, so
+			// results are independent of the worker topology.
+			base, baseErr := BenchmarkSetup(nil)
 			for j := range ch {
-				results[j.idx], errs[j.idx] = runPoint(j.units, j.alg, factory)
+				if baseErr != nil {
+					errs[j.idx] = baseErr
+					continue
+				}
+				results[j.idx], errs[j.idx] = runPoint(base, j.units, j.alg, factory)
 			}
 		}()
 	}
@@ -101,11 +111,9 @@ func Sweep(points []int, factory PatternFactory, parallelism int) ([]PointResult
 	return results, nil
 }
 
-func runPoint(units int, alg core.Algorithm, factory PatternFactory) (PointResult, error) {
-	setup, err := BenchmarkSetup(factory(units * WorkloadUnit))
-	if err != nil {
-		return PointResult{}, err
-	}
+func runPoint(base core.TaskSetup, units int, alg core.Algorithm, factory PatternFactory) (PointResult, error) {
+	setup := base
+	setup.Pattern = factory(units * WorkloadUnit)
 	cfg := core.DefaultConfig()
 	cfg.Seed = 0x9e3779b9*uint64(units+1) + uint64(len(alg))
 	res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
@@ -135,26 +143,52 @@ func byPoint(results []PointResult) (points []int, pred, nonpred map[int]metrics
 }
 
 // sweepCache shares identical sweeps between experiments (Figure 9 and
-// Figure 10 consume the same runs, as do 11/13(a) and 12/13(b)).
+// Figure 10 consume the same runs, as do 11/13(a) and 12/13(b)). Each key
+// maps to a single-flight entry: concurrent callers for the same key
+// block on one Sweep execution instead of duplicating it.
 var sweepCache = struct {
 	sync.Mutex
-	m map[string][]PointResult
-}{m: make(map[string][]PointResult)}
+	m map[string]*sweepEntry
+}{m: make(map[string]*sweepEntry)}
+
+type sweepEntry struct {
+	once sync.Once
+	res  []PointResult
+	err  error
+}
+
+// onSweepStart, when non-nil, observes each actual Sweep execution
+// CachedSweep triggers — a test hook for asserting single-flight
+// behaviour. Set it only while no CachedSweep calls are in flight.
+var onSweepStart func(key string)
 
 // CachedSweep memoizes Sweep by key for the lifetime of the process.
+// Concurrent callers with the same key share one execution and receive
+// the same result slice; treat it as read-only. Errors are memoized too:
+// sweeps are deterministic, so a retry would fail identically.
 func CachedSweep(key string, points []int, factory PatternFactory, parallelism int) ([]PointResult, error) {
 	sweepCache.Lock()
-	cached, ok := sweepCache.m[key]
+	e, ok := sweepCache.m[key]
+	if !ok {
+		e = &sweepEntry{}
+		sweepCache.m[key] = e
+	}
 	sweepCache.Unlock()
-	if ok {
-		return cached, nil
-	}
-	res, err := Sweep(points, factory, parallelism)
-	if err != nil {
-		return nil, err
-	}
+	e.once.Do(func() {
+		if onSweepStart != nil {
+			onSweepStart(key)
+		}
+		e.res, e.err = Sweep(points, factory, parallelism)
+	})
+	return e.res, e.err
+}
+
+// ResetSweepCache drops every memoized sweep. Determinism audits
+// (rmexperiments -check-determinism) call it so a repeated experiment
+// re-executes its simulations instead of re-reading the cached slice;
+// results handed out before the reset remain valid and read-only.
+func ResetSweepCache() {
 	sweepCache.Lock()
-	sweepCache.m[key] = res
+	sweepCache.m = make(map[string]*sweepEntry)
 	sweepCache.Unlock()
-	return res, nil
 }

@@ -55,6 +55,7 @@ type Message struct {
 	SentAt      sim.Time // transmission start (equals EnqueuedAt for local)
 	DeliveredAt sim.Time
 	delivered   bool
+	nextFree    *Message
 }
 
 // Delivered reports whether the message has reached its destination.
@@ -77,13 +78,58 @@ func (m *Message) TotalDelay() sim.Time {
 	return m.DeliveredAt - m.EnqueuedAt
 }
 
+// msgRing is a circular FIFO of messages: dequeues are index updates, not
+// slice reallocations, so steady-state traffic allocates nothing.
+type msgRing struct {
+	buf  []*Message
+	head int
+	n    int
+}
+
+func (r *msgRing) len() int { return r.n }
+
+func (r *msgRing) push(m *Message) {
+	if r.n == len(r.buf) {
+		size := 2 * len(r.buf)
+		if size < 4 {
+			size = 4
+		}
+		buf := make([]*Message, size)
+		for i := 0; i < r.n; i++ {
+			buf[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = buf, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = m
+	r.n++
+}
+
+func (r *msgRing) popFront() *Message {
+	m := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return m
+}
+
 // Segment is the shared medium.
 type Segment struct {
 	eng *sim.Engine
 	cfg Config
 
-	queue []*Message
-	busy  bool
+	queue      msgRing
+	localQueue msgRing // same-node sends awaiting their fixed-delay timer
+	busy       bool
+	inflight   *Message
+	inflightTx sim.Time
+
+	// Cached callbacks: one closure alloc per segment, not per message.
+	// Delivery timers are still scheduled one-per-send so the engine's
+	// (when, seq) event order is identical to the naive implementation.
+	onTxDone       func()
+	onLocalDeliver func()
+
+	freeMsg *Message // recycled Message nodes (see AcquireMessage)
 
 	cumBusy    sim.Time
 	busyStart  sim.Time
@@ -113,7 +159,32 @@ func NewSegment(eng *sim.Engine, cfg Config) *Segment {
 	if cfg.FrameOverheadBytes < 0 || cfg.PerMessageOverheadBytes < 0 || cfg.LocalDelay < 0 {
 		panic("network: negative overhead configuration")
 	}
-	return &Segment{eng: eng, cfg: cfg}
+	s := &Segment{eng: eng, cfg: cfg}
+	s.onTxDone = s.txDone
+	s.onLocalDeliver = s.localDeliver
+	return s
+}
+
+// AcquireMessage returns a zeroed Message, reusing a previously released
+// one when available. Pair with ReleaseMessage on hot paths to keep
+// steady-state traffic allocation-free; plain &Message{} remains valid.
+func (s *Segment) AcquireMessage() *Message {
+	m := s.freeMsg
+	if m == nil {
+		return &Message{}
+	}
+	s.freeMsg = m.nextFree
+	*m = Message{}
+	return m
+}
+
+// ReleaseMessage recycles a message for a later AcquireMessage. The caller
+// must be done with it: typically called from (or after) the message's
+// OnDeliver callback, never while the message is queued or in flight.
+func (s *Segment) ReleaseMessage(m *Message) {
+	*m = Message{}
+	m.nextFree = s.freeMsg
+	s.freeMsg = m
 }
 
 // Config returns the segment configuration.
@@ -150,54 +221,66 @@ func (s *Segment) Send(m *Message) {
 	if m.From == m.To {
 		s.localSends++
 		m.SentAt = now
-		s.eng.After(s.cfg.LocalDelay, func() {
-			m.DeliveredAt = s.eng.Now()
-			m.delivered = true
-			if s.observer != nil {
-				s.observer(m)
-			}
-			if m.OnDeliver != nil {
-				m.OnDeliver(m)
-			}
-		})
+		// All local deliveries share the same fixed delay, so the timers
+		// fire in schedule order and the FIFO ring matches them exactly.
+		s.localQueue.push(m)
+		s.eng.After(s.cfg.LocalDelay, s.onLocalDeliver)
 		return
 	}
-	s.queue = append(s.queue, m)
+	s.queue.push(m)
 	if !s.busy {
 		s.transmitNext()
 	}
 }
 
+// localDeliver completes the oldest pending same-node delivery.
+func (s *Segment) localDeliver() {
+	m := s.localQueue.popFront()
+	m.DeliveredAt = s.eng.Now()
+	m.delivered = true
+	if s.observer != nil {
+		s.observer(m)
+	}
+	if m.OnDeliver != nil {
+		m.OnDeliver(m)
+	}
+}
+
 func (s *Segment) transmitNext() {
-	if len(s.queue) == 0 {
+	if s.queue.len() == 0 {
 		s.busy = false
+		s.inflight = nil
 		return
 	}
-	m := s.queue[0]
-	s.queue = s.queue[1:]
+	m := s.queue.popFront()
 	s.busy = true
 	s.busyStart = s.eng.Now()
-	m.SentAt = s.eng.Now()
-	tx := s.TxTime(m.PayloadBytes)
-	s.eng.After(tx, func() {
-		s.cumBusy += tx
-		s.sent++
-		s.wireBytes += s.WireBytes(m.PayloadBytes)
-		m.DeliveredAt = s.eng.Now()
-		m.delivered = true
-		s.transmitNext()
-		if s.observer != nil {
-			s.observer(m)
-		}
-		if m.OnDeliver != nil {
-			m.OnDeliver(m)
-		}
-	})
+	m.SentAt = s.busyStart
+	s.inflight = m
+	s.inflightTx = s.TxTime(m.PayloadBytes)
+	s.eng.After(s.inflightTx, s.onTxDone)
+}
+
+// txDone completes the in-flight transmission.
+func (s *Segment) txDone() {
+	m, tx := s.inflight, s.inflightTx
+	s.cumBusy += tx
+	s.sent++
+	s.wireBytes += s.WireBytes(m.PayloadBytes)
+	m.DeliveredAt = s.eng.Now()
+	m.delivered = true
+	s.transmitNext()
+	if s.observer != nil {
+		s.observer(m)
+	}
+	if m.OnDeliver != nil {
+		m.OnDeliver(m)
+	}
 }
 
 // QueueLen returns the number of messages waiting (excluding the one in
 // flight).
-func (s *Segment) QueueLen() int { return len(s.queue) }
+func (s *Segment) QueueLen() int { return s.queue.len() }
 
 // Busy reports whether a transmission is in progress.
 func (s *Segment) Busy() bool { return s.busy }

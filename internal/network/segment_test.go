@@ -279,3 +279,52 @@ func TestObserverSeesEveryDelivery(t *testing.T) {
 		}
 	}
 }
+
+func TestLocalDeliveryFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSegment(eng, DefaultConfig())
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Send(&Message{From: 3, To: 3, PayloadBytes: int64(10 * (i + 1)),
+			OnDeliver: func(*Message) { order = append(order, i) }})
+	}
+	eng.Run()
+	if len(order) != 5 {
+		t.Fatalf("delivered %d local messages, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("local delivery order %v, want send order", order)
+		}
+	}
+}
+
+func TestMessagePoolReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSegment(eng, DefaultConfig())
+	m1 := s.AcquireMessage()
+	m1.From, m1.To, m1.PayloadBytes = 0, 1, 500
+	m1.OnDeliver = func(m *Message) { s.ReleaseMessage(m) }
+	s.Send(m1)
+	eng.Run()
+
+	m2 := s.AcquireMessage()
+	if m2 != m1 {
+		t.Fatal("AcquireMessage did not reuse the released node")
+	}
+	if m2.delivered || m2.OnDeliver != nil || m2.PayloadBytes != 0 {
+		t.Fatal("recycled message was not zeroed")
+	}
+	m2.From, m2.To, m2.PayloadBytes = 1, 0, 9000
+	delivered := false
+	m2.OnDeliver = func(*Message) { delivered = true }
+	s.Send(m2)
+	eng.Run()
+	if !delivered {
+		t.Fatal("recycled message was not delivered")
+	}
+	if got := s.Sent(); got != 2 {
+		t.Fatalf("Sent = %d, want 2", got)
+	}
+}

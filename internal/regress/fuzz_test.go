@@ -1,0 +1,98 @@
+package regress
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fuzzSamples decodes a deterministic sample grid from the fuzz inputs:
+// count samples whose items/util/latency come from a PCG stream, with
+// occasional degenerate shapes (all-same util, all-same items, zero
+// latencies) that stress the normal-equations solver.
+func fuzzSamples(seed uint64, count, shape uint8) []ExecSample {
+	r := rand.New(rand.NewPCG(seed, 0xf022))
+	n := int(count)
+	samples := make([]ExecSample, 0, n)
+	fixedUtil := float64(r.IntN(11)) / 10
+	fixedItems := r.IntN(5000)
+	for i := 0; i < n; i++ {
+		s := ExecSample{
+			Items:   r.IntN(5000),
+			Util:    float64(r.IntN(1001)) / 1000,
+			Latency: sim.Time(r.Int64N(int64(200 * sim.Millisecond))),
+		}
+		switch shape % 4 {
+		case 1:
+			s.Util = fixedUtil // rank-deficient in u
+		case 2:
+			s.Items = fixedItems // rank-deficient in d
+		case 3:
+			s.Latency = 0
+		}
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+// FuzzFitExecModel asserts the eq. (3) fitter never panics, never
+// reports success with non-finite coefficients or quality, and that a
+// fitted model's forecasts are finite and non-negative.
+func FuzzFitExecModel(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(0))
+	f.Add(uint64(2), uint8(6), uint8(0))   // minimum sample count
+	f.Add(uint64(3), uint8(5), uint8(0))   // below minimum: must error
+	f.Add(uint64(4), uint8(30), uint8(1))  // constant utilization
+	f.Add(uint64(5), uint8(30), uint8(2))  // constant data size
+	f.Add(uint64(6), uint8(30), uint8(3))  // all-zero latencies
+	f.Add(uint64(7), uint8(255), uint8(0)) // large sample set
+	f.Fuzz(func(t *testing.T, seed uint64, count, shape uint8) {
+		samples := fuzzSamples(seed, count, shape)
+		m, q, err := FitExecModel(samples)
+		if err != nil {
+			return // rejecting degenerate input is fine; panicking is not
+		}
+		for i, c := range m.Coefficients() {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("coefficient %d not finite: %v (model %v)", i, c, m)
+			}
+		}
+		if math.IsNaN(q.R2) || math.IsNaN(q.RMSE) || q.RMSE < 0 {
+			t.Fatalf("fit quality not sane: %v", q)
+		}
+		if q.N != len(samples) {
+			t.Fatalf("quality N = %d, want %d", q.N, len(samples))
+		}
+		// Forecasts over the modelled domain stay finite and non-negative.
+		for _, d := range []float64{0, 0.5, 5, 50} {
+			for _, u := range []float64{0, 0.25, 0.9, 1} {
+				ms := m.LatencyMS(d, u)
+				if math.IsNaN(ms) || math.IsInf(ms, 0) || ms < 0 {
+					t.Fatalf("LatencyMS(%v,%v) = %v from model %v", d, u, ms, m)
+				}
+			}
+		}
+	})
+}
+
+// FuzzFitPerUtilCurve asserts the per-utilization curve fitter (Figures
+// 2–3's "Y" polynomials) never panics and yields finite coefficients.
+func FuzzFitPerUtilCurve(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(0))
+	f.Add(uint64(2), uint8(2), uint8(0)) // minimum sample count
+	f.Add(uint64(3), uint8(1), uint8(0)) // below minimum: must error
+	f.Add(uint64(4), uint8(20), uint8(2))
+	f.Add(uint64(5), uint8(20), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, count, shape uint8) {
+		samples := fuzzSamples(seed, count, shape)
+		a, b, err := FitPerUtilCurve(samples)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Fatalf("per-util curve not finite: a=%v b=%v", a, b)
+		}
+	})
+}

@@ -113,7 +113,7 @@ func TestCancel(t *testing.T) {
 
 func TestCancelDuringRun(t *testing.T) {
 	e := NewEngine()
-	var later *Timer
+	var later Timer
 	fired := false
 	e.Schedule(Millisecond, func() { later.Cancel() })
 	later = e.Schedule(2*Millisecond, func() { fired = true })
@@ -248,6 +248,140 @@ func TestPropertyNestedScheduling(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	tm.Cancel() // must not panic
+	if tm.Cancelled() {
+		t.Error("zero Timer reports Cancelled")
+	}
+	if tm.Fired() {
+		t.Error("zero Timer reports Fired")
+	}
+	if tm.When() != 0 {
+		t.Errorf("zero Timer When = %v, want 0", tm.When())
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(Millisecond, func() {})
+	e.Run()
+	if !tm.Fired() {
+		t.Fatal("Fired() = false after Run")
+	}
+	tm.Cancel() // must not corrupt the (possibly recycled) node
+	if tm.Cancelled() {
+		t.Error("Cancelled() = true after post-fire Cancel")
+	}
+	// The node recycled by the fire above must be schedulable again and
+	// unaffected by the stale handle.
+	fired := false
+	e.Schedule(2*Millisecond, func() { fired = true })
+	tm.Cancel()
+	e.Run()
+	if !fired {
+		t.Error("stale handle's Cancel affected a recycled node's new event")
+	}
+}
+
+func TestStaleHandleSeesRecycledNodeAsFired(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(Millisecond, func() {})
+	e.Run()
+	// Recycle the node into a new pending event.
+	tm2 := e.Schedule(Second, func() {})
+	if !tm.Fired() {
+		t.Error("stale handle Fired() = false after its node was recycled")
+	}
+	if tm2.Fired() {
+		t.Error("fresh handle Fired() = true before firing")
+	}
+	e.Run()
+	if !tm2.Fired() {
+		t.Error("fresh handle Fired() = false after firing")
+	}
+}
+
+func TestTimerPoolReusesNodes(t *testing.T) {
+	e := NewEngine()
+	// Sequential schedule/fire cycles must stay within one slab: each fired
+	// node returns to the free list before the next Schedule.
+	for i := 0; i < 10*timerSlabSize; i++ {
+		e.After(Millisecond, func() {})
+		e.Run()
+	}
+	if got := e.TimerSlabs(); got != 1 {
+		t.Fatalf("TimerSlabs = %d after sequential reuse, want 1", got)
+	}
+}
+
+func TestCancelledNodesNotRecycled(t *testing.T) {
+	e := NewEngine()
+	cancelled := make([]Timer, 0, 8)
+	for i := 0; i < 8; i++ {
+		tm := e.Schedule(Second, func() {})
+		tm.Cancel()
+		cancelled = append(cancelled, tm)
+	}
+	// New schedules must not resurrect cancelled nodes.
+	for i := 0; i < 8; i++ {
+		e.Schedule(2*Second, func() {})
+	}
+	e.Run()
+	for i, tm := range cancelled {
+		if !tm.Cancelled() {
+			t.Errorf("cancelled handle %d lost its Cancelled status", i)
+		}
+		if tm.Fired() {
+			t.Errorf("cancelled handle %d reports Fired", i)
+		}
+	}
+}
+
+func TestHeapRemoveInterior(t *testing.T) {
+	// Cancel events from the middle of a large pending set and verify the
+	// survivors still fire in exact (when, seq) order.
+	e := NewEngine()
+	r := NewRand(3, 9)
+	type ev struct {
+		at  Time
+		seq int
+	}
+	var want []ev
+	timers := make([]Timer, 0, 300)
+	for i := 0; i < 300; i++ {
+		at := Time(r.Uint64()%50) * Millisecond
+		tm := e.Schedule(at, func() {})
+		timers = append(timers, tm)
+		want = append(want, ev{at, i})
+	}
+	// Cancel every third timer.
+	alive := want[:0]
+	for i, tm := range timers {
+		if i%3 == 1 {
+			tm.Cancel()
+		} else {
+			alive = append(alive, want[i])
+		}
+	}
+	if e.Len() != len(alive) {
+		t.Fatalf("Len = %d after interior cancels, want %d", e.Len(), len(alive))
+	}
+	sort.SliceStable(alive, func(i, j int) bool { return alive[i].at < alive[j].at })
+	var got []Time
+	for e.Step() {
+		got = append(got, e.Now())
+	}
+	if len(got) != len(alive) {
+		t.Fatalf("fired %d events, want %d", len(got), len(alive))
+	}
+	for i := range got {
+		if got[i] != alive[i].at {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], alive[i].at)
+		}
 	}
 }
 

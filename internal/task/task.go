@@ -121,6 +121,14 @@ func (d *Deployment) Replicas(stage int) []int {
 	return append([]int(nil), d.placements[stage]...)
 }
 
+// AppendReplicas appends PS(st) for the stage to dst and returns the
+// extended slice — the allocation-free counterpart of Replicas for hot
+// paths that reuse a scratch buffer.
+func (d *Deployment) AppendReplicas(stage int, dst []int) []int {
+	d.checkStage(stage)
+	return append(dst, d.placements[stage]...)
+}
+
 // ReplicaCount returns |PS(st)| for the stage.
 func (d *Deployment) ReplicaCount(stage int) int {
 	d.checkStage(stage)
@@ -254,13 +262,22 @@ func (d *Deployment) MeanReplicasOfReplicable() float64 {
 // SplitItems divides `items` across k replicas as evenly as integers
 // allow: the first items%k replicas receive one extra item.
 func SplitItems(items, k int) []int {
+	return SplitItemsInto(nil, items, k)
+}
+
+// SplitItemsInto is SplitItems writing into dst's storage (grown as
+// needed), for hot paths that reuse a scratch buffer.
+func SplitItemsInto(dst []int, items, k int) []int {
 	if k <= 0 {
 		panic(fmt.Sprintf("task: SplitItems across %d replicas", k))
 	}
 	if items < 0 {
 		panic(fmt.Sprintf("task: SplitItems of %d items", items))
 	}
-	out := make([]int, k)
+	if cap(dst) < k {
+		dst = make([]int, k)
+	}
+	out := dst[:k]
 	base, extra := items/k, items%k
 	for i := range out {
 		out[i] = base

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzHistogramRecordQuantile feeds arbitrary byte streams (decoded as
+// int64 durations, negatives included — Record clamps them) into the
+// log-linear Histogram and checks its aggregate invariants: exact count
+// and sum, a consistent [Min, Max] envelope, quantiles inside it and
+// non-decreasing in p, and bucket bounds that actually contain each
+// recorded value.
+func FuzzHistogramRecordQuantile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // -1: clamps to 0
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // MaxInt64
+	seed := make([]byte, 0, 64)
+	for _, v := range []uint64{1, 63, 64, 65, 1000, 123456789, 1 << 40} {
+		seed = binary.LittleEndian.AppendUint64(seed, v)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Histogram
+		var (
+			n        uint64
+			sum      sim.Time
+			min, max sim.Time
+		)
+		for len(data) >= 8 {
+			v := sim.Time(int64(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+			h.Record(v)
+			if v < 0 {
+				v = 0
+			}
+			if n == 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			n++
+			// Mirror Record's saturating sum (found by fuzzing: two
+			// ~century-scale durations used to wrap the mean negative).
+			if sum > sim.Time(math.MaxInt64)-v {
+				sum = sim.Time(math.MaxInt64)
+			} else {
+				sum += v
+			}
+
+			// The bucket chosen for v must actually contain it.
+			idx := bucketIndex(int64(v))
+			lo, hi := bucketBounds(idx)
+			if int64(v) <= lo || int64(v) > hi {
+				t.Fatalf("value %d landed in bucket %d = (%d, %d]", v, idx, lo, hi)
+			}
+		}
+		if h.Count() != n {
+			t.Fatalf("Count = %d, want %d", h.Count(), n)
+		}
+		if h.Sum() != sum {
+			t.Fatalf("Sum = %v, want %v", h.Sum(), sum)
+		}
+		if h.Min() != min || h.Max() != max {
+			t.Fatalf("envelope [%v, %v], want [%v, %v]", h.Min(), h.Max(), min, max)
+		}
+		if n == 0 {
+			if q := h.Quantile(50); q != 0 {
+				t.Fatalf("Quantile on empty histogram = %v, want 0", q)
+			}
+			return
+		}
+		if mean := h.Mean(); mean < min || mean > max {
+			t.Fatalf("Mean %v outside [%v, %v]", mean, min, max)
+		}
+		prev := sim.Time(-1)
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			q := h.Quantile(p)
+			if q < min || q > max {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", p, q, min, max)
+			}
+			if q < prev {
+				t.Fatalf("Quantile(%v) = %v below previous quantile %v", p, q, prev)
+			}
+			prev = q
+		}
+	})
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/sim"
@@ -50,13 +51,18 @@ func bucketBounds(idx int) (lo, hi int64) {
 	return (r << uint(exp)) - 1, (r+1)<<uint(exp) - 1
 }
 
-// Record folds in one duration; negative values clamp to zero.
+// Record folds in one duration; negative values clamp to zero and the
+// running sum saturates at MaxInt64 instead of wrapping negative.
 func (h *Histogram) Record(v sim.Time) {
 	if v < 0 {
 		v = 0
 	}
 	h.counts[bucketIndex(int64(v))]++
-	h.sum += v
+	if h.sum > sim.Time(math.MaxInt64)-v {
+		h.sum = sim.Time(math.MaxInt64)
+	} else {
+		h.sum += v
+	}
 	if h.n == 0 || v < h.min {
 		h.min = v
 	}
@@ -83,12 +89,20 @@ func (h *Histogram) Min() sim.Time {
 // Max returns the largest recorded value.
 func (h *Histogram) Max() sim.Time { return h.max }
 
-// Mean returns the mean recorded value (0 when empty).
+// Mean returns the mean recorded value (0 when empty), clamped to the
+// [Min, Max] envelope so a saturated sum still yields a sane estimate.
 func (h *Histogram) Mean() sim.Time {
 	if h.n == 0 {
 		return 0
 	}
-	return h.sum / sim.Time(h.n)
+	m := h.sum / sim.Time(h.n)
+	if m < h.min {
+		m = h.min
+	}
+	if m > h.max {
+		m = h.max
+	}
+	return m
 }
 
 // Buckets returns the non-empty bins as a CDF for stats.BucketQuantile.
@@ -111,7 +125,15 @@ func (h *Histogram) Quantile(p float64) sim.Time {
 	if h.n == 0 {
 		return 0
 	}
-	q := sim.Time(stats.BucketQuantile(h.Buckets(), p))
+	qf := stats.BucketQuantile(h.Buckets(), p)
+	// The top bucket's Hi rounds to float64(MaxInt64) = 2^63, and
+	// converting a float64 ≥ 2^63 to int64 overflows (to MinInt64 on
+	// amd64), which would clamp a 100th percentile down to Min. Saturate
+	// before converting.
+	q := sim.Time(math.MaxInt64)
+	if qf < math.MaxInt64 {
+		q = sim.Time(qf)
+	}
 	if q < h.min {
 		q = h.min
 	}
