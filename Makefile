@@ -6,7 +6,12 @@ BENCH_PATTERN ?= BenchmarkTable1BaselineSystemConstruction|BenchmarkEngineEventT
 BENCH_COUNT ?= 5
 BENCH_LABEL ?= current
 
-.PHONY: build test race bench bench-json check golden vet fmt all
+# bench-suite settings: full rmexperiments renders timed end to end.
+SUITE_COUNT ?= 5
+SUITE_LABEL ?= post-scheduler
+SUITE_FLAGS ?=
+
+.PHONY: build test race bench bench-json bench-suite check golden vet fmt all
 
 all: build test
 
@@ -33,6 +38,21 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) . \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_1.json
+
+# bench-suite times $(SUITE_COUNT) full rmexperiments renders and records
+# the wall-clock into BENCH_2.json under $(SUITE_LABEL) (the committed
+# pre-scheduler label is the baseline). Pass SUITE_FLAGS='-cache-dir d'
+# to measure a warm-cache render.
+bench-suite:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/rmexperiments ./cmd/rmexperiments; \
+	for i in $$(seq 1 $(SUITE_COUNT)); do \
+		start=$$(date +%s%N); \
+		$$tmp/rmexperiments $(SUITE_FLAGS) >/dev/null || exit 1; \
+		end=$$(date +%s%N); \
+		echo "BenchmarkExperimentSuiteWallClock 1 $$((end-start)) ns/op"; \
+	done | $(GO) run ./cmd/benchjson -label $(SUITE_LABEL) -out BENCH_2.json; \
+	rm -rf $$tmp
 
 # golden re-runs the determinism harness; use UPDATE=1 after an
 # intentional model change to regenerate the snapshots.

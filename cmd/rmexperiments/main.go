@@ -8,6 +8,8 @@
 //	rmexperiments -list           # list experiment ids
 //	rmexperiments -out results/   # also write per-experiment .txt and .csv
 //	rmexperiments -quick          # trimmed sweeps (smoke run)
+//	rmexperiments -seeds 5        # Monte Carlo: 5 replications per sweep cell, tables gain ±95% CI columns
+//	rmexperiments -cache-dir .rmcache  # persistent run cache: warm re-renders skip simulation
 package main
 
 import (
@@ -29,9 +31,25 @@ func main() {
 		md       = flag.String("md", "", "write a single Markdown report to this file")
 		quick    = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		seeds    = flag.Int("seeds", 1, "Monte Carlo replications per sweep cell; ≥2 adds ±95% CI columns")
+		cacheDir = flag.String("cache-dir", "", "persistent content-addressed run cache directory (created if missing)")
 		checkDet = flag.Bool("check-determinism", false, "run each experiment twice (serial, then parallel with a cold cache) and fail unless the outputs are byte-identical")
 	)
 	flag.Parse()
+
+	if *cacheDir != "" && !*checkDet {
+		cache, err := experiment.OpenDiskCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		experiment.SetDiskCache(cache)
+	}
+	if *cacheDir != "" && *checkDet {
+		// A determinism audit must re-execute every simulation; serving
+		// runs from the persistent cache would compare the cache with
+		// itself, so the cache is bypassed for the audit.
+		fmt.Println("note: -check-determinism bypasses -cache-dir (the audit must re-simulate)")
+	}
 
 	if *list {
 		for _, e := range experiment.All() {
@@ -56,7 +74,8 @@ func main() {
 		return
 	}
 
-	ctx := experiment.Context{Parallelism: *parallel, Quick: *quick}
+	ctx := experiment.Context{Parallelism: *parallel, Quick: *quick, Seeds: *seeds}
+	wallStart := time.Now()
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
@@ -96,6 +115,9 @@ func main() {
 		}
 		fmt.Printf("markdown report written to %s\n", *md)
 	}
+	s := experiment.SchedulerStats()
+	fmt.Printf("scheduler: %d runs requested — %d deduped in flight, %d memory hits, %d disk hits, %d simulated — wall-clock %v\n",
+		s.Requested, s.Deduped, s.MemoryHits, s.DiskHits, s.Simulated, time.Since(wallStart).Round(time.Millisecond))
 }
 
 // checkDeterminism renders every experiment twice — once with serial

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DiskCache is the persistent, content-addressed store behind the run
+// scheduler: one JSON file per run outcome, named by the run fingerprint
+// and fanned into 256 prefix directories. A warm cache lets a repeat
+// rmexperiments render of every experiment skip simulation entirely.
+//
+// Robustness contract: any entry that cannot be read back exactly — a
+// truncated write, a schema bump, manual corruption — is a miss, never an
+// error; the scheduler falls back to simulating and rewrites the entry.
+type DiskCache struct {
+	dir string
+}
+
+// OpenDiskCache creates the cache directory if needed and returns a
+// handle. The directory may be shared by concurrent processes: writes are
+// atomic (temp file + rename), so readers only ever see whole entries.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: opening run cache: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// cacheEnvelope is the on-disk layout. Key is stored redundantly and
+// verified on read, so a file that was renamed, cross-copied, or written
+// under a different fingerprint scheme can never satisfy a lookup.
+type cacheEnvelope struct {
+	Schema  int        `json:"schema"`
+	Key     string     `json:"key"`
+	Outcome RunOutcome `json:"outcome"`
+}
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get looks a run outcome up by fingerprint. ok is false on any miss,
+// including unreadable or mismatched entries.
+func (c *DiskCache) Get(key string) (RunOutcome, bool) {
+	if len(key) < 2 {
+		return RunOutcome{}, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return RunOutcome{}, false
+	}
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Schema != cacheSchema || env.Key != key {
+		return RunOutcome{}, false
+	}
+	return env.Outcome, true
+}
+
+// Put stores one run outcome, replacing any existing entry atomically.
+func (c *DiskCache) Put(key string, out RunOutcome) error {
+	if len(key) < 2 {
+		return fmt.Errorf("experiment: run cache key %q too short", key)
+	}
+	data, err := json.Marshal(cacheEnvelope{Schema: cacheSchema, Key: key, Outcome: out})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "run-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Len counts the entries currently on disk (diagnostics and tests).
+func (c *DiskCache) Len() int {
+	n := 0
+	_ = filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	out := RunOutcome{
+		Metrics:     metrics.RunMetrics{Periods: 120, Completed: 118, Missed: 2, MeanReplicas: 1.25},
+		Failovers:   3,
+		EventsFired: 987654,
+	}
+	if err := c.Put(key, out); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(got, out) {
+		t.Fatalf("round trip changed the outcome:\nput %+v\ngot %+v", out, got)
+	}
+	if n := c.Len(); n != 1 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestDiskCacheCorruptEntryIsAMiss(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "feedfacefeedfacefeedfacefeedfacefeedfacefeedfacefeedfacefeedface"
+	if err := c.Put(key, RunOutcome{EventsFired: 1}); err != nil {
+		t.Fatal(err)
+	}
+	corruptCacheFiles(t, c.Dir())
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+}
+
+// corruptCacheFiles overwrites every cache entry with garbage.
+func corruptCacheFiles(t *testing.T, dir string) {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		n++
+		return os.WriteFile(path, []byte("{not json"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no cache entries to corrupt")
+	}
+}
+
+// TestSchedulerDiskCacheWarmAndCorrupt is the cache's end-to-end
+// contract: a cold sweep writes through, a warm process (simulated by
+// dropping the in-memory memo) reads every run back without simulating,
+// and corrupted entries silently fall back to re-simulation with
+// identical results.
+func TestSchedulerDiskCacheWarmAndCorrupt(t *testing.T) {
+	cache, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDiskCache(cache)
+	defer SetDiskCache(nil)
+	ResetSweepCache()
+
+	points := []int{0, 4}
+	var cold []PointResult
+	coldStats := statsDelta(func() {
+		cold, err = Sweep(points, TriangularFactory, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if coldStats.Simulated != 4 || coldStats.DiskHits != 0 {
+		t.Fatalf("cold run: %+v, want 4 simulated / 0 disk hits", coldStats)
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("cache holds %d entries after cold run, want 4", cache.Len())
+	}
+
+	ResetSweepCache() // forget the in-process memo; disk must serve everything
+	var warm []PointResult
+	warmStats := statsDelta(func() {
+		warm, err = Sweep(points, TriangularFactory, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warmStats.Simulated != 0 || warmStats.DiskHits != 4 {
+		t.Fatalf("warm run: %+v, want 0 simulated / 4 disk hits", warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("disk-served results differ from the simulated ones")
+	}
+
+	corruptCacheFiles(t, cache.Dir())
+	ResetSweepCache()
+	var again []PointResult
+	corruptStats := statsDelta(func() {
+		again, err = Sweep(points, TriangularFactory, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if corruptStats.Simulated != 4 || corruptStats.DiskHits != 0 {
+		t.Fatalf("corrupt-cache run: %+v, want 4 simulated / 0 disk hits", corruptStats)
+	}
+	if !reflect.DeepEqual(cold, again) {
+		t.Fatal("results after cache corruption differ from the original run")
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -168,12 +169,15 @@ func TestSweepDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Reset so the second sweep re-simulates instead of reading the
+	// scheduler's run memo — equality must come from determinism.
+	ResetSweepCache()
 	b, err := Sweep([]int{10}, TriangularFactory, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("sweep diverged at %d:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}

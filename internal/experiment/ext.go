@@ -10,7 +10,6 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -94,11 +93,11 @@ func runExtMultitask(ctx Context) (Output, error) {
 			}
 			cfg := core.DefaultConfig()
 			cfg.Seed = uint64(1000 + n)
-			res, err := core.Run(cfg, alg, setups)
+			out, err := ScheduledRun(cfg, alg, setups)
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
+			m := out.Metrics
 			t.AddRow(n, string(alg), m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.Combined())
 		}
 	}
@@ -121,11 +120,11 @@ func runExtSlack(ctx Context) (Output, error) {
 		if cfg.Monitor.HighSlackFraction <= sl {
 			cfg.Monitor.HighSlackFraction = sl + 0.3
 		}
-		res, err := core.Run(cfg, core.Predictive, []core.TaskSetup{setup})
+		out, err := ScheduledRun(cfg, core.Predictive, []core.TaskSetup{setup})
 		if err != nil {
 			return Output{}, err
 		}
-		m := res.Metrics
+		m := out.Metrics
 		t.AddRow(sl, m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.Combined())
 	}
 	return Output{ID: "ext-slack", Tables: []*Table{t}}, nil
@@ -144,11 +143,11 @@ func runExtUT(ctx Context) (Output, error) {
 		}
 		cfg := core.DefaultConfig()
 		cfg.UtilThreshold = ut
-		res, err := core.Run(cfg, core.NonPredictive, []core.TaskSetup{setup})
+		out, err := ScheduledRun(cfg, core.NonPredictive, []core.TaskSetup{setup})
 		if err != nil {
 			return Output{}, err
 		}
-		m := res.Metrics
+		m := out.Metrics
 		t.AddRow(ut, m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.Combined())
 	}
 	return Output{ID: "ext-ut", Tables: []*Table{t}}, nil
@@ -171,11 +170,11 @@ func runExtPatterns(ctx Context) (Output, error) {
 			if err != nil {
 				return Output{}, err
 			}
-			res, err := core.Run(core.DefaultConfig(), alg, []core.TaskSetup{setup})
+			out, err := ScheduledRun(core.DefaultConfig(), alg, []core.TaskSetup{setup})
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
+			m := out.Metrics
 			t.AddRow(p.Name(), string(alg), m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.Combined())
 		}
 	}
@@ -210,18 +209,12 @@ func runExtFaults(ctx Context) (Output, error) {
 			}
 			cfg := core.DefaultConfig()
 			cfg.Faults = faults
-			res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+			out, err := ScheduledRun(cfg, alg, []core.TaskSetup{setup})
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
-			failovers := 0
-			for _, e := range res.Events {
-				if e.Kind == trace.ActionFailover {
-					failovers++
-				}
-			}
-			t.AddRow(maxUnits, string(alg), m.Periods-m.Completed, m.MissedPct(), failovers, m.Combined())
+			m := out.Metrics
+			t.AddRow(maxUnits, string(alg), m.Periods-m.Completed, m.MissedPct(), out.Failovers, m.Combined())
 		}
 	}
 	return Output{ID: "ext-faults", Tables: []*Table{t}}, nil
@@ -261,11 +254,11 @@ func runExtSeeds(ctx Context) (Output, error) {
 				}
 				cfg := core.DefaultConfig()
 				cfg.Seed = uint64(7777 + seed*13)
-				res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+				out, err := ScheduledRun(cfg, alg, []core.TaskSetup{setup})
 				if err != nil {
 					return Output{}, err
 				}
-				cs = append(cs, res.Metrics.Combined())
+				cs = append(cs, out.Metrics.Combined())
 			}
 			means[alg] = cs
 			s := stats.Summarize(cs)
@@ -308,11 +301,11 @@ func runExtAllocators(ctx Context) (Output, error) {
 			if err != nil {
 				return Output{}, err
 			}
-			res, err := core.Run(core.DefaultConfig(), alg, []core.TaskSetup{setup})
+			out, err := ScheduledRun(core.DefaultConfig(), alg, []core.TaskSetup{setup})
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
+			m := out.Metrics
 			t.AddRow(p, string(alg), m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.Combined())
 		}
 	}
@@ -345,11 +338,11 @@ func runExtModels(ctx Context) (Output, error) {
 			if err != nil {
 				return Output{}, err
 			}
-			res, err := core.Run(core.DefaultConfig(), core.Predictive, []core.TaskSetup{setup})
+			out, err := ScheduledRun(core.DefaultConfig(), core.Predictive, []core.TaskSetup{setup})
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
+			m := out.Metrics
 			t.AddRow(p, string(source), m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.Combined())
 		}
 	}
@@ -383,11 +376,11 @@ func runExtOverlap(ctx Context) (Output, error) {
 			}
 			cfg := core.DefaultConfig()
 			cfg.OverlapFraction = overlap
-			res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+			out, err := ScheduledRun(cfg, alg, []core.TaskSetup{setup})
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
+			m := out.Metrics
 			t.AddRow(overlap, string(alg), m.MissedPct(), m.CPUUtilPct(), m.NetUtilPct(), m.MeanReplicas, m.Combined())
 		}
 	}
@@ -408,11 +401,11 @@ func runExtWarmup(ctx Context) (Output, error) {
 			}
 			cfg := core.DefaultConfig()
 			cfg.WarmupDemand = warm
-			res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+			out, err := ScheduledRun(cfg, alg, []core.TaskSetup{setup})
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
+			m := out.Metrics
 			t.AddRow(warm.Milliseconds(), string(alg), m.MissedPct(), m.Replications, m.Shutdowns, m.Combined())
 		}
 	}
@@ -445,11 +438,11 @@ func runExtSched(ctx Context) (Output, error) {
 			}
 			cfg := core.DefaultConfig()
 			cfg.Discipline = d
-			res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+			out, err := ScheduledRun(cfg, alg, []core.TaskSetup{setup})
 			if err != nil {
 				return Output{}, err
 			}
-			m := res.Metrics
+			m := out.Metrics
 			t.AddRow(d.String(), string(alg), m.MissedPct(), m.CPUUtilPct(), m.MeanReplicas, m.Combined())
 		}
 	}
@@ -507,11 +500,11 @@ func runExtSmoothing(ctx Context) (Output, error) {
 		}
 		cfg := core.DefaultConfig()
 		cfg.Monitor.SmoothingWindow = w
-		res, err := core.Run(cfg, core.Predictive, []core.TaskSetup{setup})
+		out, err := ScheduledRun(cfg, core.Predictive, []core.TaskSetup{setup})
 		if err != nil {
 			return Output{}, err
 		}
-		m := res.Metrics
+		m := out.Metrics
 		t.AddRow(w, m.MissedPct(), m.Replications, m.Shutdowns, m.MeanReplicas, m.Combined())
 	}
 	return Output{ID: "ext-smoothing", Tables: []*Table{t}}, nil

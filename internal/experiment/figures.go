@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ascii"
 	"repro/internal/dynbench"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/regress"
 	"repro/internal/workload"
@@ -209,14 +210,24 @@ func runFig8(Context) (Output, error) {
 	return Output{ID: "fig8", Tables: []*Table{t}, Charts: []*ascii.Chart{chart}}, nil
 }
 
-// figMetricsSweep reproduces the four-panel figures (9, 11, 12).
+// ciNote explains the CI columns appended under Monte Carlo replication.
+func ciNote(seeds int) string {
+	return fmt.Sprintf("each value is the mean over %d seed replications; ± columns are the "+
+		"half-width of the 95%% confidence interval (Student t)", seeds)
+}
+
+// figMetricsSweep reproduces the four-panel figures (9, 11, 12). With
+// ctx.Seeds ≥ 2 every cell is replicated under per-replication seeds and
+// rendered as mean with ± 95% CI columns; with a single seed the output
+// is byte-identical to the historical single-run tables.
 func figMetricsSweep(id, key string, factory PatternFactory) func(Context) (Output, error) {
 	return func(ctx Context) (Output, error) {
-		results, err := CachedSweep(key, ctx.sweepPoints(), factory, ctx.Parallelism)
+		results, err := CachedSweepSeeds(key, ctx.sweepPoints(), factory, ctx.Parallelism, ctx.seeds())
 		if err != nil {
 			return Output{}, err
 		}
-		points, pred, nonpred := byPoint(results)
+		ci := ctx.seeds() > 1
+		points, pred, nonpred := byPointResult(results)
 		t := &Table{
 			Title: fmt.Sprintf("%s — %s pattern (1 workload unit = 500 tracks, %d periods/run)",
 				id, key, SweepPeriods),
@@ -228,9 +239,38 @@ func figMetricsSweep(id, key string, factory PatternFactory) func(Context) (Outp
 				"replicas pred", "replicas nonpred",
 			},
 		}
+		if ci {
+			t.Columns = []string{
+				"max workload",
+				"MD% pred", "±95", "MD% nonpred", "±95",
+				"CPU% pred", "±95", "CPU% nonpred", "±95",
+				"Net% pred", "±95", "Net% nonpred", "±95",
+				"replicas pred", "±95", "replicas nonpred", "±95",
+			}
+			t.Notes = append(t.Notes, ciNote(ctx.seeds()))
+		}
 		var md, cpu, net, reps [2][]float64
 		for _, p := range points {
-			a, b := pred[p], nonpred[p]
+			a, b := pred[p].Metrics, nonpred[p].Metrics
+			if ci {
+				ag := metrics.AggregateRuns(pred[p].Reps)
+				bg := metrics.AggregateRuns(nonpred[p].Reps)
+				t.AddRow(p,
+					ag.MissedPct.Mean, ag.MissedPct.CI, bg.MissedPct.Mean, bg.MissedPct.CI,
+					ag.CPUUtilPct.Mean, ag.CPUUtilPct.CI, bg.CPUUtilPct.Mean, bg.CPUUtilPct.CI,
+					ag.NetUtilPct.Mean, ag.NetUtilPct.CI, bg.NetUtilPct.Mean, bg.NetUtilPct.CI,
+					ag.MeanReplicas.Mean, ag.MeanReplicas.CI, bg.MeanReplicas.Mean, bg.MeanReplicas.CI,
+				)
+				md[0] = append(md[0], ag.MissedPct.Mean)
+				md[1] = append(md[1], bg.MissedPct.Mean)
+				cpu[0] = append(cpu[0], ag.CPUUtilPct.Mean)
+				cpu[1] = append(cpu[1], bg.CPUUtilPct.Mean)
+				net[0] = append(net[0], ag.NetUtilPct.Mean)
+				net[1] = append(net[1], bg.NetUtilPct.Mean)
+				reps[0] = append(reps[0], ag.MeanReplicas.Mean)
+				reps[1] = append(reps[1], bg.MeanReplicas.Mean)
+				continue
+			}
 			t.AddRow(p,
 				a.MissedPct(), b.MissedPct(),
 				a.CPUUtilPct(), b.CPUUtilPct(),
@@ -270,24 +310,49 @@ func sweepChart(title, pattern string, points []int, series [2][]float64) *ascii
 	}
 }
 
+// combinedTable builds a combined-metric table for one sweep, shared by
+// Figure 10 and both halves of Figure 13; with replication it renders
+// mean ± 95% CI and decides the winner on the means.
+func combinedTable(title string, results []PointResult, seeds int) (*Table, []int, [2][]float64) {
+	ci := seeds > 1
+	points, pred, nonpred := byPointResult(results)
+	t := &Table{
+		Title:   title,
+		Columns: []string{"max workload", "C pred", "C nonpred", "winner"},
+	}
+	if ci {
+		t.Columns = []string{"max workload", "C pred", "±95", "C nonpred", "±95", "winner"}
+		t.Notes = append(t.Notes, ciNote(seeds))
+	}
+	var cs [2][]float64
+	for _, p := range points {
+		if ci {
+			ag := metrics.AggregateRuns(pred[p].Reps)
+			bg := metrics.AggregateRuns(nonpred[p].Reps)
+			t.AddRow(p, ag.Combined.Mean, ag.Combined.CI, bg.Combined.Mean, bg.Combined.CI,
+				winner(ag.Combined.Mean, bg.Combined.Mean))
+			cs[0] = append(cs[0], ag.Combined.Mean)
+			cs[1] = append(cs[1], bg.Combined.Mean)
+			continue
+		}
+		cp, cn := pred[p].Metrics.Combined(), nonpred[p].Metrics.Combined()
+		t.AddRow(p, cp, cn, winner(cp, cn))
+		cs[0] = append(cs[0], cp)
+		cs[1] = append(cs[1], cn)
+	}
+	return t, points, cs
+}
+
 // figCombinedSweep reproduces Figure 10.
 func figCombinedSweep(id, key string, factory PatternFactory) func(Context) (Output, error) {
 	return func(ctx Context) (Output, error) {
-		results, err := CachedSweep(key, ctx.sweepPoints(), factory, ctx.Parallelism)
+		results, err := CachedSweepSeeds(key, ctx.sweepPoints(), factory, ctx.Parallelism, ctx.seeds())
 		if err != nil {
 			return Output{}, err
 		}
-		points, pred, nonpred := byPoint(results)
-		t := &Table{
-			Title:   fmt.Sprintf("%s — combined performance metric C, %s pattern (smaller is better)", id, key),
-			Columns: []string{"max workload", "C pred", "C nonpred", "winner"},
-		}
-		var cs [2][]float64
-		for _, p := range points {
-			t.AddRow(p, pred[p].Combined(), nonpred[p].Combined(), winner(pred[p].Combined(), nonpred[p].Combined()))
-			cs[0] = append(cs[0], pred[p].Combined())
-			cs[1] = append(cs[1], nonpred[p].Combined())
-		}
+		t, points, cs := combinedTable(
+			fmt.Sprintf("%s — combined performance metric C, %s pattern (smaller is better)", id, key),
+			results, ctx.seeds())
 		chart := sweepChart(id+" combined performance metric C", key, points, cs)
 		return Output{ID: id, Tables: []*Table{t}, Charts: []*ascii.Chart{chart}}, nil
 	}
@@ -316,21 +381,11 @@ func runFig13(ctx Context) (Output, error) {
 		{"fig13(a) — increasing ramp", "increasing", IncreasingFactory},
 		{"fig13(b) — decreasing ramp", "decreasing", DecreasingFactory},
 	} {
-		results, err := CachedSweep(part.key, ctx.sweepPoints(), part.factory, ctx.Parallelism)
+		results, err := CachedSweepSeeds(part.key, ctx.sweepPoints(), part.factory, ctx.Parallelism, ctx.seeds())
 		if err != nil {
 			return Output{}, err
 		}
-		points, pred, nonpred := byPoint(results)
-		t := &Table{
-			Title:   part.label + " — combined performance metric C",
-			Columns: []string{"max workload", "C pred", "C nonpred", "winner"},
-		}
-		var cs [2][]float64
-		for _, p := range points {
-			t.AddRow(p, pred[p].Combined(), nonpred[p].Combined(), winner(pred[p].Combined(), nonpred[p].Combined()))
-			cs[0] = append(cs[0], pred[p].Combined())
-			cs[1] = append(cs[1], nonpred[p].Combined())
-		}
+		t, points, cs := combinedTable(part.label+" — combined performance metric C", results, ctx.seeds())
 		tables = append(tables, t)
 		charts = append(charts, sweepChart(part.label+" combined metric C", part.key, points, cs))
 	}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// cacheSchema versions the run fingerprint and the cached RunOutcome
+// layout together. Bump it whenever either changes meaning: stale
+// persistent cache entries then simply miss instead of being misread.
+const cacheSchema = 1
+
+// demandProbeSizes are the item counts at which each subtask's demand
+// curve is sampled into the fingerprint. Demand functions are closures,
+// so their identity cannot be hashed directly; probing the curve at fixed
+// sizes with a fixed-seed rng captures the content instead — two setups
+// fingerprint equal exactly when their demand curves agree at the probes.
+var demandProbeSizes = [...]int{100, 1700, 4900}
+
+// runFingerprint content-addresses one simulation run: the SHA-256 of a
+// canonical description of everything that determines its result — the
+// schema version, the algorithm, the full config (seed included, the
+// telemetry recorder excluded: it observes a run, it does not shape one)
+// and, per task, the spec identity, demand-curve probes, placement,
+// workload pattern, and fitted regression models. The hex digest doubles
+// as the scheduler's dedup key and the disk cache's file name.
+func runFingerprint(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) string {
+	var b strings.Builder
+	cfg.Telemetry = nil
+	fmt.Fprintf(&b, "schema=%d;alg=%s;cfg=%+v;", cacheSchema, alg, cfg)
+	for _, ts := range setups {
+		fmt.Fprintf(&b, "task=%s|period=%d|deadline=%d|homes=%v;",
+			ts.Spec.Name, int64(ts.Spec.Period), int64(ts.Spec.Deadline), ts.Homes)
+		for _, st := range ts.Spec.Subtasks {
+			fmt.Fprintf(&b, "st=%s|repl=%t|out=%d|demand=", st.Name, st.Replicable, st.OutBytesPerItem)
+			for _, items := range demandProbeSizes {
+				rng := rand.New(rand.NewPCG(0x5eedca11, uint64(items)))
+				fmt.Fprintf(&b, "%d,", int64(st.Demand(items, rng)))
+			}
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "pattern=%T%+v;", ts.Pattern, ts.Pattern)
+		for _, em := range ts.Exec {
+			fmt.Fprintf(&b, "exec=%v;", em.Coefficients())
+		}
+		fmt.Fprintf(&b, "comm=%+v;", ts.Comm)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -109,11 +109,15 @@ func TestGoldenSweepAcrossParallelism(t *testing.T) {
 		{"increasing", IncreasingFactory},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			// Drop memoized runs so every Sweep below actually simulates
+			// under its own scheduling instead of reading the run memo.
+			ResetSweepCache()
 			serial, err := Sweep(goldenPoints(), tc.factory, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, parallelism := range []int{2, 7} {
+				ResetSweepCache()
 				parallel, err := Sweep(goldenPoints(), tc.factory, parallelism)
 				if err != nil {
 					t.Fatal(err)
@@ -145,6 +149,33 @@ func TestGoldenSweepSnapshot(t *testing.T) {
 			}
 			checkGolden(t, "sweep_"+tc.name+".golden.csv", goldenCSV(results))
 		})
+	}
+}
+
+// TestGoldenSeedZeroUnchangedUnderReplication pins the seed-derivation
+// contract of the Monte Carlo extension: replication 0 of every sweep
+// cell keeps the exact historical seed, so a replicated sweep's rep-0
+// metrics are byte-for-byte the committed single-run golden.
+func TestGoldenSeedZeroUnchangedUnderReplication(t *testing.T) {
+	ResetSweepCache()
+	results, err := SweepSeeds(goldenPoints(), TriangularFactory, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if len(r.Reps) != 3 {
+			t.Fatalf("point %d %s: %d replications, want 3", r.MaxUnits, r.Alg, len(r.Reps))
+		}
+		if !reflect.DeepEqual(r.Metrics, r.Reps[0]) {
+			t.Fatalf("point %d %s: Metrics is not the replication-0 run", r.MaxUnits, r.Alg)
+		}
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "sweep_triangular.golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenCSV(results); !bytes.Equal(got, want) {
+		t.Errorf("replication-0 metrics drifted from the single-run golden.\n%s", firstDiff(want, got))
 	}
 }
 

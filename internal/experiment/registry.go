@@ -11,6 +11,19 @@ type Context struct {
 	Parallelism int
 	// Quick trims sweeps for fast runs (tests, CI smoke).
 	Quick bool
+	// Seeds is the Monte Carlo replication count per sweep cell; values
+	// < 2 mean the single pinned replication-0 seed (the historical
+	// single-run mode). With Seeds ≥ 2 the sweep figures render each
+	// quantity as mean ± 95% CI over the replications.
+	Seeds int
+}
+
+// seeds normalizes the replication count.
+func (c Context) seeds() int {
+	if c.Seeds < 1 {
+		return 1
+	}
+	return c.Seeds
 }
 
 // sweepPoints returns the x-axis of the paper's figures: max workload

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// This file is the cross-experiment run scheduler. Every simulation any
+// experiment requests — one (config, algorithm, task setup, seed) cell —
+// is flattened into a single global work queue drained by one shared
+// worker pool, instead of each sweep spinning up its own. Identical runs
+// are deduplicated at run granularity with single-flight semantics: the
+// first requester enqueues the cell, later requesters join it, and the
+// finished outcome is memoized for the life of the process (and, when a
+// DiskCache is installed, across processes).
+
+// RunOutcome is the cacheable summary of one simulation run: the §5.2
+// metrics plus the cheap derived counts the batch experiments table.
+// Full period records and adaptation traces are deliberately excluded —
+// they are large, and no batch experiment consumes them.
+type RunOutcome struct {
+	Metrics metrics.RunMetrics `json:"metrics"`
+	// Failovers counts trace.ActionFailover adaptation events (ext-faults).
+	Failovers int `json:"failovers"`
+	// EventsFired is the engine's determinism fingerprint.
+	EventsFired uint64 `json:"events_fired"`
+}
+
+// runEntry is one scheduled simulation: a single-flight cell of the
+// global run table. Whoever creates the entry enqueues it exactly once;
+// every later requester receives the same entry and blocks on done.
+type runEntry struct {
+	key    string
+	cfg    core.Config
+	alg    core.Algorithm
+	setups []core.TaskSetup
+
+	done     chan struct{}
+	out      RunOutcome
+	err      error
+	finished bool // guarded by the scheduler mutex; set before done closes
+}
+
+// wait blocks until the entry's run completes.
+func (e *runEntry) wait() (RunOutcome, error) {
+	<-e.done
+	return e.out, e.err
+}
+
+// SchedulerCounters is a snapshot of the global scheduler's cumulative
+// accounting. Requested = Deduped + MemoryHits + DiskHits + Simulated
+// once every submitted run has resolved.
+type SchedulerCounters struct {
+	Requested  uint64 // run requests submitted, including duplicates
+	Deduped    uint64 // joined an identical run already in flight
+	MemoryHits uint64 // served from the in-process memo of finished runs
+	DiskHits   uint64 // served from the persistent content-addressed cache
+	Simulated  uint64 // actually executed
+}
+
+type scheduler struct {
+	mu      sync.Mutex
+	queue   []*runEntry
+	entries map[string]*runEntry
+	width   int // target worker-pool size; 0 = unset (NumCPU at first use)
+	workers int // live worker goroutines
+	disk    *DiskCache
+	stats   SchedulerCounters
+}
+
+// sched is the process-wide scheduler every experiment shares.
+var sched = &scheduler{entries: make(map[string]*runEntry)}
+
+// SetParallelism sets the shared worker pool's target width; n ≤ 0 means
+// NumCPU. The pool is global — concurrent callers share it and the most
+// recent setting wins — which is safe because results never depend on the
+// width (every run is independently seeded; the golden tests pin that),
+// only throughput does.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	sched.mu.Lock()
+	sched.width = n
+	sched.mu.Unlock()
+}
+
+// SetDiskCache installs (or, with nil, removes) the persistent cache the
+// scheduler consults before simulating and writes through after.
+func SetDiskCache(c *DiskCache) {
+	sched.mu.Lock()
+	sched.disk = c
+	sched.mu.Unlock()
+}
+
+// SchedulerStats snapshots the cumulative scheduler counters — the
+// rmexperiments end-of-run summary reads them, and tests assert dedup
+// behaviour through before/after deltas.
+func SchedulerStats() SchedulerCounters {
+	sched.mu.Lock()
+	defer sched.mu.Unlock()
+	return sched.stats
+}
+
+// ScheduledRun routes one simulation through the shared scheduler,
+// blocking until its result is available. Identical runs — same config,
+// algorithm and setups by content — execute once and share the outcome.
+// cfg.Telemetry must be nil: an attached recorder is a per-run side
+// effect that neither dedup nor the cache can replay.
+func ScheduledRun(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (RunOutcome, error) {
+	if cfg.Telemetry != nil {
+		return RunOutcome{}, fmt.Errorf("experiment: scheduled runs cannot carry a telemetry recorder")
+	}
+	return sched.submit(cfg, alg, setups).wait()
+}
+
+// submit registers one run and returns its entry without waiting, so
+// callers can flatten a whole batch into the queue before blocking.
+func (s *scheduler) submit(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) *runEntry {
+	key := runFingerprint(cfg, alg, setups)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requested++
+	if e, ok := s.entries[key]; ok {
+		if e.finished {
+			s.stats.MemoryHits++
+		} else {
+			s.stats.Deduped++
+		}
+		return e
+	}
+	e := &runEntry{key: key, cfg: cfg, alg: alg, setups: setups, done: make(chan struct{})}
+	s.entries[key] = e
+	s.queue = append(s.queue, e)
+	if s.width == 0 {
+		s.width = runtime.NumCPU()
+	}
+	if s.workers < s.width {
+		s.workers++
+		go s.worker()
+	}
+	return e
+}
+
+// worker drains the global queue FIFO. The pool is elastic: submit spawns
+// workers on demand up to the target width, and a worker exits when the
+// queue is empty or the target has shrunk below the live count, so idle
+// workers cost nothing and serial mode (width 1) is truly serial.
+func (s *scheduler) worker() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 || s.workers > s.width {
+			s.workers--
+			s.mu.Unlock()
+			return
+		}
+		e := s.queue[0]
+		s.queue = s.queue[1:]
+		disk := s.disk
+		s.mu.Unlock()
+		s.execute(e, disk)
+	}
+}
+
+// execute resolves one entry: persistent cache first, simulation second.
+func (s *scheduler) execute(e *runEntry, disk *DiskCache) {
+	if disk != nil {
+		if out, ok := disk.Get(e.key); ok {
+			s.finish(e, out, nil, func(c *SchedulerCounters) { c.DiskHits++ })
+			return
+		}
+	}
+	out, err := simulate(e.cfg, e.alg, e.setups)
+	if err == nil && disk != nil {
+		// Best effort: a failed write only costs a future re-simulation.
+		_ = disk.Put(e.key, out)
+	}
+	s.finish(e, out, err, func(c *SchedulerCounters) { c.Simulated++ })
+}
+
+func (s *scheduler) finish(e *runEntry, out RunOutcome, err error, count func(*SchedulerCounters)) {
+	s.mu.Lock()
+	e.out, e.err = out, err
+	e.finished = true
+	count(&s.stats)
+	s.mu.Unlock()
+	close(e.done)
+}
+
+// simulate is the single place experiment code executes core.Run.
+func simulate(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (RunOutcome, error) {
+	res, err := core.Run(cfg, alg, setups)
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	out := RunOutcome{Metrics: res.Metrics, EventsFired: res.EventsFired}
+	for _, ev := range res.Events {
+		if ev.Kind == trace.ActionFailover {
+			out.Failovers++
+		}
+	}
+	return out, nil
+}
+
+// resetRunMemo drops every memoized run outcome; in-flight entries keep
+// completing for their existing waiters. The persistent disk cache, if
+// any, is left untouched.
+func resetRunMemo() {
+	sched.mu.Lock()
+	sched.entries = make(map[string]*runEntry)
+	sched.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import "repro/internal/stats"
+
+// Estimate is a mean with the half-width of its 95% confidence interval,
+// Student-t over the replication count. CI is zero for a single run.
+type Estimate struct {
+	Mean float64 `json:"mean"`
+	CI   float64 `json:"ci95"`
+}
+
+// Aggregate summarizes N Monte Carlo replications of one experiment
+// cell: each §5.2 quantity is estimated as the mean of the per-run
+// values (a ratio like MD% is averaged per run, not re-derived from
+// pooled counts, so the CI is the CI of what the figures actually plot).
+type Aggregate struct {
+	N int
+
+	MissedPct     Estimate
+	CPUUtilPct    Estimate
+	NetUtilPct    Estimate
+	MeanReplicas  Estimate
+	ReplicaUsePct Estimate
+	Combined      Estimate
+}
+
+// AggregateRuns folds replicated run metrics into mean ± 95% CI
+// estimates. It panics on an empty slice: a cell always has at least its
+// replication-0 run.
+func AggregateRuns(runs []RunMetrics) Aggregate {
+	if len(runs) == 0 {
+		panic("metrics: AggregateRuns of empty slice")
+	}
+	estimate := func(f func(RunMetrics) float64) Estimate {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = f(r)
+		}
+		mean, half := stats.MeanCI95(xs)
+		return Estimate{Mean: mean, CI: half}
+	}
+	return Aggregate{
+		N:             len(runs),
+		MissedPct:     estimate(RunMetrics.MissedPct),
+		CPUUtilPct:    estimate(RunMetrics.CPUUtilPct),
+		NetUtilPct:    estimate(RunMetrics.NetUtilPct),
+		MeanReplicas:  estimate(func(r RunMetrics) float64 { return r.MeanReplicas }),
+		ReplicaUsePct: estimate(RunMetrics.ReplicaUsePct),
+		Combined:      estimate(RunMetrics.Combined),
+	}
+}

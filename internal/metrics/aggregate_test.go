@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateRunsSingle(t *testing.T) {
+	r := RunMetrics{Periods: 100, Completed: 90, Missed: 10, MeanReplicas: 1.5}
+	a := AggregateRuns([]RunMetrics{r})
+	if a.N != 1 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if a.MissedPct.Mean != r.MissedPct() || a.MissedPct.CI != 0 {
+		t.Errorf("MissedPct = %+v, want mean %v CI 0", a.MissedPct, r.MissedPct())
+	}
+	if a.Combined.Mean != r.Combined() || a.Combined.CI != 0 {
+		t.Errorf("Combined = %+v", a.Combined)
+	}
+}
+
+func TestAggregateRunsMeanAndCI(t *testing.T) {
+	runs := []RunMetrics{
+		{Periods: 100, Completed: 100, MeanReplicas: 1},
+		{Periods: 100, Completed: 100, MeanReplicas: 2},
+		{Periods: 100, Completed: 100, MeanReplicas: 3},
+	}
+	a := AggregateRuns(runs)
+	if a.N != 3 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if a.MeanReplicas.Mean != 2 {
+		t.Errorf("MeanReplicas mean = %v", a.MeanReplicas.Mean)
+	}
+	// sd = 1, n = 3 → half = t(2)·1/√3.
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(a.MeanReplicas.CI-want) > 1e-9 {
+		t.Errorf("MeanReplicas CI = %v, want %v", a.MeanReplicas.CI, want)
+	}
+	// Identical per-run values aggregate with a zero interval.
+	if a.MissedPct.Mean != 0 || a.MissedPct.CI != 0 {
+		t.Errorf("MissedPct = %+v", a.MissedPct)
+	}
+}
+
+func TestAggregateRunsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty AggregateRuns did not panic")
+		}
+	}()
+	AggregateRuns(nil)
+}

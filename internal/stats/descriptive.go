@@ -32,6 +32,68 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// SampleVariance returns the unbiased (n−1 denominator) variance; it
+// panics on fewer than two values, where the estimator is undefined.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		panic(fmt.Sprintf("stats: SampleVariance needs ≥2 values, got %d", len(xs)))
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// SampleStdDev returns the sample standard deviation (n−1 denominator).
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
+// tCritical95 tabulates the two-sided 95% Student-t critical values for
+// 1–30 degrees of freedom (the exact range Monte Carlo replication
+// counts land in).
+var tCritical95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom. Beyond the tabulated range it steps down through
+// the standard anchors (40, 60, 120 df), holding each anchor's value
+// until the next — slightly conservative (wider intervals), never
+// anti-conservative. It panics on df < 1.
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		panic(fmt.Sprintf("stats: TCritical95 df=%d < 1", df))
+	case df <= len(tCritical95):
+		return tCritical95[df-1]
+	case df < 40:
+		return tCritical95[len(tCritical95)-1]
+	case df < 60:
+		return 2.021
+	case df < 120:
+		return 2.000
+	default:
+		return 1.980
+	}
+}
+
+// MeanCI95 returns the sample mean and the half-width of its 95%
+// confidence interval (Student t with n−1 degrees of freedom). With a
+// single value the half-width is zero — there is no spread to estimate.
+// It panics on an empty slice.
+func MeanCI95(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	half = TCritical95(len(xs)-1) * SampleStdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, half
+}
+
 // MinMax returns the smallest and largest values; it panics on an empty
 // slice.
 func MinMax(xs []float64) (min, max float64) {

@@ -211,3 +211,74 @@ func TestEWMAValueBeforePushPanics(t *testing.T) {
 	}()
 	NewEWMA(0.5).Value()
 }
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := SampleVariance(xs); !approxEq(got, 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7)
+	}
+	if got := SampleStdDev([]float64{1, 5}); !approxEq(got, 2.8284271247461903, 1e-12) {
+		t.Errorf("SampleStdDev = %v", got)
+	}
+}
+
+func TestSampleVarianceSingletonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleVariance of one value did not panic")
+		}
+	}()
+	SampleVariance([]float64{1})
+}
+
+func TestTCritical95(t *testing.T) {
+	for _, tc := range []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {9, 2.262}, {30, 2.042},
+		{35, 2.042}, {45, 2.021}, {80, 2.000}, {500, 1.980},
+	} {
+		if got := TCritical95(tc.df); got != tc.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+	// Monotone non-increasing: more data never widens the interval.
+	prev := TCritical95(1)
+	for df := 2; df <= 200; df++ {
+		cur := TCritical95(df)
+		if cur > prev {
+			t.Fatalf("TCritical95 increased at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTCritical95ZeroDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("df 0 did not panic")
+		}
+	}()
+	TCritical95(0)
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{42})
+	if mean != 42 || half != 0 {
+		t.Errorf("single value: mean=%v half=%v", mean, half)
+	}
+	// n=4, sd=1 → half = t(3)·1/√4 = 3.182/2.
+	mean, half = MeanCI95([]float64{1, 2, 3, 4})
+	if !approxEq(mean, 2.5, 1e-12) {
+		t.Errorf("mean = %v", mean)
+	}
+	want := 3.182 * SampleStdDev([]float64{1, 2, 3, 4}) / 2
+	if !approxEq(half, want, 1e-12) {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+	// Identical values: zero spread, zero interval.
+	if _, half := MeanCI95([]float64{7, 7, 7}); half != 0 {
+		t.Errorf("constant sample half = %v", half)
+	}
+}
