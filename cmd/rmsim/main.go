@@ -17,11 +17,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
 	"repro/internal/export"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -44,7 +49,12 @@ func main() {
 		chrome   = flag.String("chrome", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 		httpAddr = flag.String("http", "", "after the run, serve live telemetry on this address (/metrics, /snapshot.json, /trace.json) until interrupted")
 		force    = flag.Bool("force", false, "overwrite existing output files")
+		mtbf     = flag.Duration("mtbf", 0, "stochastic node crashes: mean time between failures per node (enables the hardened manager)")
+		mttr     = flag.Duration("mttr", 8*time.Second, "mean time to repair for -mtbf crashes")
+		drop     = flag.Float64("drop", 0, "per-message drop probability on the shared segment, 0 ≤ p < 1 (enables the hardened manager)")
 	)
+	var fails faultList
+	flag.Var(&fails, "fail", "inject a crash: node@at or node@at+duration, e.g. -fail 2@10.2s+15s (repeatable; omitted duration = permanent)")
 	flag.Parse()
 
 	alg := core.Algorithm(*algFlag)
@@ -88,6 +98,20 @@ func main() {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Faults = append(cfg.Faults, fails...)
+	if *mtbf > 0 {
+		cfg.Chaos = chaos.Config{
+			NodeMTBF: sim.Time(mtbf.Nanoseconds()),
+			NodeMTTR: sim.Time(mttr.Nanoseconds()),
+			MaxDown:  cfg.NumNodes - 1,
+		}
+	}
+	cfg.Network.DropProb = *drop
+	// Stochastic faults and message loss are only survivable with the
+	// hardened manager; scripted -fail crashes stay on the classic path.
+	if *mtbf > 0 || *drop > 0 {
+		cfg.Degradation = core.HardenedDegradation()
+	}
 	if *telOut != "" || *chrome != "" || *httpAddr != "" {
 		cfg.Telemetry = telemetry.New(telemetry.DefaultConfig())
 	}
@@ -107,6 +131,14 @@ func main() {
 	fmt.Printf("adaptations      %d replications, %d shutdowns, %d allocation failures\n",
 		m.Replications, m.Shutdowns, m.AllocFailures)
 	fmt.Printf("combined metric  C = %.2f\n", m.Combined())
+	if m.Crashes > 0 || m.DroppedMessages > 0 || m.Retransmissions > 0 {
+		fmt.Printf("chaos            %d crashes, %d recoveries, %d msgs dropped, %d retransmitted",
+			m.Crashes, m.Recoveries, m.DroppedMessages, m.Retransmissions)
+		if m.MeanRecoveryMS > 0 {
+			fmt.Printf(", mean recovery %.1f ms", m.MeanRecoveryMS)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("events fired     %d (identical seeds must match exactly)\n", res.EventsFired)
 
 	if len(res.Records) > 0 {
@@ -244,6 +276,47 @@ func buildPattern(name string, min, max, periods int) (workload.Pattern, error) 
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", name)
 	}
+}
+
+// faultList parses repeated -fail flags of the form node@at[+duration],
+// e.g. "2@10.2s+15s"; a missing duration means a permanent crash.
+type faultList []core.Fault
+
+func (f *faultList) String() string {
+	parts := make([]string, len(*f))
+	for i, ft := range *f {
+		parts[i] = fmt.Sprintf("%d@%v", ft.Node, ft.At)
+		if ft.Duration > 0 {
+			parts[i] += fmt.Sprintf("+%v", ft.Duration)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *faultList) Set(v string) error {
+	nodeStr, rest, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("want node@at[+duration], got %q", v)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return fmt.Errorf("bad node in %q: %v", v, err)
+	}
+	atStr, durStr, hasDur := strings.Cut(rest, "+")
+	at, err := time.ParseDuration(atStr)
+	if err != nil {
+		return fmt.Errorf("bad crash time in %q: %v", v, err)
+	}
+	ft := core.Fault{Node: node, At: sim.Time(at.Nanoseconds())}
+	if hasDur {
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return fmt.Errorf("bad duration in %q: %v", v, err)
+		}
+		ft.Duration = sim.Time(dur.Nanoseconds())
+	}
+	*f = append(*f, ft)
+	return nil
 }
 
 func fatal(err error) {

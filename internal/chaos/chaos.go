@@ -1,0 +1,161 @@
+// Package chaos generates stochastic fault schedules for the simulated
+// cluster: per-node crash/repair processes drawn from exponential
+// MTBF/MTTR distributions, and transient whole-segment network
+// partitions. The paper's motivation is survivability in an asynchronous
+// system whose failures are not announced in advance; this package turns
+// that premise into reproducible experiments by compiling the stochastic
+// processes into a concrete, fully deterministic schedule before the run
+// starts — the same seed always yields the same faults, so chaos runs
+// dedup, cache, and golden-test exactly like clean ones.
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Config parameterizes the stochastic fault processes. The zero value
+// disables everything: Compile returns an empty schedule and the
+// embedding system must behave byte-identically to a chaos-free build.
+type Config struct {
+	// NodeMTBF is each node's mean time between crash arrivals
+	// (exponential inter-arrival). 0 disables node faults.
+	NodeMTBF sim.Time
+	// NodeMTTR is the mean repair time of a crashed node (exponential,
+	// clamped to ≥ 1 ms so a crash is never a zero-length no-op).
+	// Required when NodeMTBF > 0.
+	NodeMTTR sim.Time
+	// MaxDown bounds how many nodes may be down simultaneously; crash
+	// arrivals that would exceed the bound are skipped (the repair crews
+	// are busy — the node survives until its next arrival). 0 = no bound.
+	MaxDown int
+	// PartitionMTBF is the mean time between transient whole-segment
+	// partitions (exponential inter-arrival). 0 disables partitions.
+	PartitionMTBF sim.Time
+	// PartitionMTTR is the mean partition duration (exponential, clamped
+	// to ≥ 1 ms). Required when PartitionMTBF > 0.
+	PartitionMTTR sim.Time
+}
+
+// Enabled reports whether any stochastic process is configured.
+func (c Config) Enabled() bool {
+	return c.NodeMTBF > 0 || c.PartitionMTBF > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NodeMTBF < 0 || c.NodeMTTR < 0 || c.PartitionMTBF < 0 || c.PartitionMTTR < 0 {
+		return fmt.Errorf("chaos: negative MTBF/MTTR")
+	}
+	if c.NodeMTBF > 0 && c.NodeMTTR == 0 {
+		return fmt.Errorf("chaos: node MTBF set without MTTR")
+	}
+	if c.PartitionMTBF > 0 && c.PartitionMTTR == 0 {
+		return fmt.Errorf("chaos: partition MTBF set without MTTR")
+	}
+	if c.MaxDown < 0 {
+		return fmt.Errorf("chaos: negative MaxDown %d", c.MaxDown)
+	}
+	return nil
+}
+
+// NodeFault is one compiled node crash. Duration is always positive.
+type NodeFault struct {
+	Node     int
+	At       sim.Time
+	Duration sim.Time
+}
+
+// Window is one compiled whole-segment partition interval [Start, End).
+type Window struct {
+	Start, End sim.Time
+}
+
+// Schedule is a compiled fault plan: everything the embedding system
+// needs to pre-schedule before virtual time starts.
+type Schedule struct {
+	Faults     []NodeFault
+	Partitions []Window
+}
+
+// minRepair keeps exponential repair draws from collapsing into
+// zero-length faults the scheduler would never observe.
+const minRepair = sim.Millisecond
+
+// expTime draws an exponential duration with the given mean.
+func expTime(r *rand.Rand, mean sim.Time) sim.Time {
+	return sim.Time(r.ExpFloat64() * float64(mean))
+}
+
+// Compile draws the full fault plan for a run of the given horizon.
+// Each node gets its own RNG stream derived from (seed, node), so one
+// node's timeline does not shift when the cluster size changes; the
+// partition process gets a stream of its own. Compile is pure: identical
+// inputs always produce identical schedules.
+func Compile(cfg Config, numNodes int, horizon sim.Time, seed uint64) Schedule {
+	var s Schedule
+	if !cfg.Enabled() || horizon <= 0 {
+		return s
+	}
+	if cfg.NodeMTBF > 0 {
+		for n := 0; n < numNodes; n++ {
+			r := sim.NewRand(seed, 0xc4a05_0000+uint64(n))
+			t := expTime(r, cfg.NodeMTBF)
+			for t < horizon {
+				d := expTime(r, cfg.NodeMTTR)
+				if d < minRepair {
+					d = minRepair
+				}
+				s.Faults = append(s.Faults, NodeFault{Node: n, At: t, Duration: d})
+				t += d + expTime(r, cfg.NodeMTBF)
+			}
+		}
+		sort.Slice(s.Faults, func(i, j int) bool {
+			if s.Faults[i].At != s.Faults[j].At {
+				return s.Faults[i].At < s.Faults[j].At
+			}
+			return s.Faults[i].Node < s.Faults[j].Node
+		})
+		if cfg.MaxDown > 0 {
+			s.Faults = enforceMaxDown(s.Faults, cfg.MaxDown)
+		}
+	}
+	if cfg.PartitionMTBF > 0 {
+		r := sim.NewRand(seed, 0xc4a05_b00f)
+		t := expTime(r, cfg.PartitionMTBF)
+		for t < horizon {
+			d := expTime(r, cfg.PartitionMTTR)
+			if d < minRepair {
+				d = minRepair
+			}
+			s.Partitions = append(s.Partitions, Window{Start: t, End: t + d})
+			t += d + expTime(r, cfg.PartitionMTBF)
+		}
+	}
+	return s
+}
+
+// enforceMaxDown sweeps the time-sorted fault list and drops any crash
+// that would push the simultaneous-down count past the bound.
+func enforceMaxDown(faults []NodeFault, maxDown int) []NodeFault {
+	kept := faults[:0]
+	var downUntil []sim.Time // repair times of admitted faults
+	for _, f := range faults {
+		live := downUntil[:0]
+		for _, end := range downUntil {
+			if end > f.At {
+				live = append(live, end)
+			}
+		}
+		downUntil = live
+		if len(downUntil) >= maxDown {
+			continue
+		}
+		downUntil = append(downUntil, f.At+f.Duration)
+		kept = append(kept, f)
+	}
+	return kept
+}

@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestZeroConfigCompilesEmpty(t *testing.T) {
+	s := Compile(Config{}, 6, 100*sim.Second, 1)
+	if len(s.Faults) != 0 || len(s.Partitions) != 0 {
+		t.Fatalf("zero config compiled non-empty schedule: %+v", s)
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	cfg := Config{
+		NodeMTBF:      20 * sim.Second,
+		NodeMTTR:      5 * sim.Second,
+		PartitionMTBF: 40 * sim.Second,
+		PartitionMTTR: 2 * sim.Second,
+	}
+	a := Compile(cfg, 6, 300*sim.Second, 42)
+	b := Compile(cfg, 6, 300*sim.Second, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Compile(cfg, 6, 300*sim.Second, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("expected faults over a 300s horizon with 20s MTBF")
+	}
+	if len(a.Partitions) == 0 {
+		t.Fatal("expected partitions over a 300s horizon with 40s MTBF")
+	}
+}
+
+// Per-node streams mean a node's timeline is stable as the cluster grows:
+// node 0's faults in a 4-node compile equal node 0's faults in a 6-node
+// compile.
+func TestPerNodeStreamStability(t *testing.T) {
+	cfg := Config{NodeMTBF: 15 * sim.Second, NodeMTTR: 3 * sim.Second}
+	small := Compile(cfg, 4, 200*sim.Second, 7)
+	big := Compile(cfg, 6, 200*sim.Second, 7)
+	pick := func(s Schedule, node int) []NodeFault {
+		var out []NodeFault
+		for _, f := range s.Faults {
+			if f.Node == node {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	for n := 0; n < 4; n++ {
+		if !reflect.DeepEqual(pick(small, n), pick(big, n)) {
+			t.Fatalf("node %d timeline changed with cluster size", n)
+		}
+	}
+}
+
+func TestScheduleProperties(t *testing.T) {
+	cfg := Config{
+		NodeMTBF:      10 * sim.Second,
+		NodeMTTR:      4 * sim.Second,
+		PartitionMTBF: 30 * sim.Second,
+		PartitionMTTR: sim.Second,
+	}
+	horizon := 500 * sim.Second
+	s := Compile(cfg, 6, horizon, 99)
+	last := sim.Time(-1)
+	perNodeEnd := map[int]sim.Time{}
+	for _, f := range s.Faults {
+		if f.At < last {
+			t.Fatalf("faults not time-sorted: %v after %v", f.At, last)
+		}
+		last = f.At
+		if f.At < 0 || f.At >= horizon {
+			t.Fatalf("fault at %v outside horizon", f.At)
+		}
+		if f.Duration < minRepair {
+			t.Fatalf("fault duration %v below minimum", f.Duration)
+		}
+		if end, ok := perNodeEnd[f.Node]; ok && f.At < end {
+			t.Fatalf("node %d crashes at %v while still down until %v", f.Node, f.At, end)
+		}
+		perNodeEnd[f.Node] = f.At + f.Duration
+	}
+	prevEnd := sim.Time(0)
+	for _, w := range s.Partitions {
+		if w.Start < prevEnd {
+			t.Fatalf("partitions overlap: start %v before previous end %v", w.Start, prevEnd)
+		}
+		if w.End <= w.Start {
+			t.Fatalf("empty partition window %+v", w)
+		}
+		prevEnd = w.End
+	}
+}
+
+func TestMaxDownBound(t *testing.T) {
+	cfg := Config{
+		NodeMTBF: 5 * sim.Second,
+		NodeMTTR: 20 * sim.Second, // long repairs force heavy overlap
+		MaxDown:  2,
+	}
+	s := Compile(cfg, 6, 400*sim.Second, 3)
+	if len(s.Faults) == 0 {
+		t.Fatal("expected faults")
+	}
+	// Sweep the timeline and verify the simultaneous-down count.
+	type edge struct {
+		at    sim.Time
+		delta int
+	}
+	var edges []edge
+	for _, f := range s.Faults {
+		edges = append(edges, edge{f.At, 1}, edge{f.At + f.Duration, -1})
+	}
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			if edges[j].at < edges[i].at || (edges[j].at == edges[i].at && edges[j].delta < edges[i].delta) {
+				edges[i], edges[j] = edges[j], edges[i]
+			}
+		}
+	}
+	down := 0
+	for _, e := range edges {
+		down += e.delta
+		if down > 2 {
+			t.Fatalf("simultaneous-down count %d exceeds MaxDown 2", down)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{NodeMTBF: -1},
+		{NodeMTBF: sim.Second},      // MTBF without MTTR
+		{PartitionMTBF: sim.Second}, // partition MTBF without MTTR
+		{NodeMTBF: 1, NodeMTTR: 1, MaxDown: -2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	good := Config{NodeMTBF: sim.Second, NodeMTTR: sim.Second, MaxDown: 1,
+		PartitionMTBF: sim.Second, PartitionMTTR: sim.Second}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}

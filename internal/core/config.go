@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/cpu"
 	"repro/internal/monitor"
 	"repro/internal/network"
@@ -90,6 +91,17 @@ type Config struct {
 	// same allocation machinery as workload adaptation.
 	Faults []Fault
 
+	// Chaos, when enabled, compiles stochastic per-node crash/repair
+	// processes and transient segment partitions (internal/chaos) into
+	// the fault schedule at run start, deterministically from Seed. The
+	// zero value is fully off and changes nothing.
+	Chaos chaos.Config
+
+	// Degradation hardens the adaptation loop against chaos. The zero
+	// value disables every mechanism so clean runs are byte-identical to
+	// a build without it; HardenedDegradation returns sane defaults.
+	Degradation Degradation
+
 	// Telemetry, when non-nil, receives spans, metrics and forecast
 	// residuals from the run (see internal/telemetry). Nil — the default —
 	// disables collection; every instrumentation site degrades to a single
@@ -103,6 +115,59 @@ type Fault struct {
 	Node     int
 	At       sim.Time
 	Duration sim.Time
+}
+
+// Degradation configures the hardening mechanisms that keep the
+// adaptation loop honest when nodes flap and messages vanish. Every
+// field gates its mechanism independently; all-zero means all-off.
+type Degradation struct {
+	// DeliveryTimeout arms a watchdog on every inter-subtask message:
+	// if a stage handoff is not delivered within the timeout it is
+	// retransmitted. Backoff doubles per attempt. 0 disables detection —
+	// a dropped message then loses the period.
+	DeliveryTimeout sim.Time
+	// MaxRetries bounds retransmissions per message (attempts beyond the
+	// original send). After the budget the handoff is abandoned.
+	MaxRetries int
+	// StalenessWindow discards slack readings older than this when the
+	// monitor analyzes a period, and taints readings from periods that
+	// straddled a crash or recovery. 0 keeps every reading forever.
+	StalenessWindow sim.Time
+	// CooldownPeriods suppresses shutdowns for this many periods after a
+	// node goes down or comes back, so a flapping node does not thrash
+	// replicas off stages that are about to need them. Replication stays
+	// responsive — the hysteresis is one-sided. 0 disables.
+	CooldownPeriods int
+	// FallbackUtil substitutes for a node's measured utilization while
+	// its measurement window overlaps a crash (a down node's idle meter
+	// would otherwise read 0 and attract every new replica). 0 disables.
+	FallbackUtil float64
+}
+
+// HardenedDegradation returns the defaults used by the ext-chaos
+// experiment: 100 ms delivery timeout with 3 retries, a 3 s staleness
+// window, 2 periods of shutdown cooldown, and 0.5 fallback utilization.
+func HardenedDegradation() Degradation {
+	return Degradation{
+		DeliveryTimeout: 100 * sim.Millisecond,
+		MaxRetries:      3,
+		StalenessWindow: 3 * sim.Second,
+		CooldownPeriods: 2,
+		FallbackUtil:    0.5,
+	}
+}
+
+func (d Degradation) validate() error {
+	if d.DeliveryTimeout < 0 || d.StalenessWindow < 0 {
+		return fmt.Errorf("core: negative degradation timeout/window")
+	}
+	if d.MaxRetries < 0 || d.CooldownPeriods < 0 {
+		return fmt.Errorf("core: negative degradation retry/cooldown count")
+	}
+	if d.FallbackUtil < 0 || d.FallbackUtil > 1 {
+		return fmt.Errorf("core: fallback utilization %v out of [0,1]", d.FallbackUtil)
+	}
+	return nil
 }
 
 // DefaultConfig returns the Table 1 baseline.
@@ -156,6 +221,12 @@ func (c Config) Validate() error {
 		if f.At < 0 || f.Duration < 0 {
 			return fmt.Errorf("core: fault %d with negative time", i)
 		}
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
+	if err := c.Degradation.validate(); err != nil {
+		return err
 	}
 	return nil
 }

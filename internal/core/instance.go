@@ -25,6 +25,11 @@ type instance struct {
 	pendingMsgs [][]int // per stage, per replica, inputs still in flight
 	readyCount  []int   // replicas of the stage whose inputs are complete
 
+	// epoch is the system's nodeEpoch at launch: a completion whose epoch
+	// is stale straddled a crash or recovery, and its observations are
+	// tainted for adaptation purposes (Degradation.StalenessWindow).
+	epoch int
+
 	nextFree *instance
 }
 
@@ -42,12 +47,27 @@ type replicaJob struct {
 }
 
 // taskMsg carries one inter-stage message's delivery context; pooled like
-// replicaJob, with the OnDeliver callback bound once.
+// replicaJob, with the OnDeliver callback bound once. One taskMsg is one
+// logical handoff: under Degradation.DeliveryTimeout it may put several
+// physical copies on the wire (retransmissions), so it tracks how many
+// are outstanding and whether the handoff already succeeded — the first
+// delivery wins, duplicates are discarded, and the context returns to
+// the pool only when no copy can still reference it.
 type taskMsg struct {
 	s        *system
 	inst     *instance
 	stage    int // destination stage
 	destIdx  int
+	from, to int
+	payload  int64
+
+	attempt     int  // retransmissions so far
+	outstanding int  // physical copies queued or in flight
+	done        bool // first delivery happened; duplicates are ignored
+	abandoned   bool // retry budget exhausted
+	watchdog    sim.Timer
+	onTimeout   func() // bound once to timeout
+
 	nextFree *taskMsg
 }
 
@@ -79,7 +99,9 @@ func (s *system) freeReplicaJob(rj *replicaJob) {
 func (s *system) newTaskMsg() *taskMsg {
 	tm := s.freeTM
 	if tm == nil {
-		return &taskMsg{s: s}
+		tm = &taskMsg{s: s}
+		tm.onTimeout = tm.timeout
+		return tm
 	}
 	s.freeTM = tm.nextFree
 	tm.nextFree = nil
@@ -88,8 +110,19 @@ func (s *system) newTaskMsg() *taskMsg {
 
 func (s *system) freeTaskMsg(tm *taskMsg) {
 	tm.inst = nil
+	tm.attempt = 0
+	tm.done, tm.abandoned = false, false
+	tm.watchdog = sim.Timer{}
 	tm.nextFree = s.freeTM
 	s.freeTM = tm
+}
+
+// maybeFree returns the handoff context to the pool once it is settled
+// (delivered or abandoned) and no physical copy can still point at it.
+func (tm *taskMsg) maybeFree() {
+	if tm.outstanding == 0 && (tm.done || tm.abandoned) {
+		tm.s.freeTaskMsg(tm)
+	}
 }
 
 // newInstance recycles an instance from rt's free list (resizing its
@@ -113,6 +146,7 @@ func (s *system) newInstance(rt *runtimeTask, c, items, n int) *instance {
 		inst.nextFree = nil
 	}
 	inst.rt = rt
+	inst.epoch = s.nodeEpoch
 	inst.rec = &task.PeriodRecord{
 		Period:     c,
 		Items:      items,
@@ -248,25 +282,80 @@ func (s *system) replicaDone(inst *instance, stage, idx int, at sim.Time) {
 		payloadItems := perDest[j] + haloPerMsg[idx]
 		tm := s.newTaskMsg()
 		tm.inst, tm.stage, tm.destIdx = inst, stage+1, j
-		m := s.seg.AcquireMessage()
-		m.From = srcProc
-		m.To = destProc
-		m.PayloadBytes = int64(payloadItems * bytesPerItem)
-		m.Meta = tm
-		m.OnDeliver = deliverTaskMsg
-		s.seg.Send(m)
+		tm.from, tm.to = srcProc, destProc
+		tm.payload = int64(payloadItems * bytesPerItem)
+		s.sendTaskMsg(tm)
 	}
+}
+
+// sendTaskMsg puts one physical copy of the handoff on the segment and,
+// when delivery timeouts are configured, arms the retransmission
+// watchdog with exponential backoff (timeout doubles per attempt).
+func (s *system) sendTaskMsg(tm *taskMsg) {
+	m := s.seg.AcquireMessage()
+	m.From = tm.from
+	m.To = tm.to
+	m.PayloadBytes = tm.payload
+	m.Meta = tm
+	m.OnDeliver = deliverTaskMsg
+	m.OnDrop = dropTaskMsg
+	tm.outstanding++
+	if to := s.cfg.Degradation.DeliveryTimeout; to > 0 {
+		tm.watchdog = s.eng.After(to<<uint(tm.attempt), tm.onTimeout)
+	}
+	s.seg.Send(m)
+}
+
+// timeout fires when a handoff's watchdog expires undelivered: resend
+// with backoff until the retry budget runs out, then abandon — a stray
+// copy may still arrive (the gate is done, not abandoned), but nothing
+// new goes on the wire.
+func (tm *taskMsg) timeout() {
+	if tm.done || tm.abandoned {
+		return
+	}
+	s := tm.s
+	if tm.attempt >= s.cfg.Degradation.MaxRetries {
+		tm.abandoned = true
+		tm.maybeFree()
+		return
+	}
+	tm.attempt++
+	s.collector.CountRetransmission()
+	s.tel.CountRetransmit()
+	s.sendTaskMsg(tm)
+}
+
+// dropTaskMsg is the shared OnDrop for task messages: the copy is gone;
+// recovery (if any) is the watchdog's job. Pool hygiene only.
+func dropTaskMsg(m *network.Message) {
+	tm := m.Meta.(*taskMsg)
+	s := tm.s
+	s.tel.CountMessageDrop()
+	s.seg.ReleaseMessage(m)
+	tm.outstanding--
+	tm.maybeFree()
 }
 
 // deliverTaskMsg is the shared OnDeliver for all task messages; the
 // per-message context rides in Meta, so no per-send closure is needed.
+// The first delivered copy completes the handoff; retransmission
+// duplicates are released without a second msgArrived.
 func deliverTaskMsg(m *network.Message) {
 	tm := m.Meta.(*taskMsg)
 	s, inst, stage, destIdx := tm.s, tm.inst, tm.stage, tm.destIdx
+	tm.outstanding--
+	if tm.done {
+		s.seg.ReleaseMessage(m)
+		tm.maybeFree()
+		return
+	}
+	tm.done = true
+	tm.watchdog.Cancel()
 	s.tel.RecordMessage(inst.rt.setup.Spec.Name, stage, inst.rec.Period,
 		m.From, m.To, m.PayloadBytes, m.EnqueuedAt, m.SentAt, m.DeliveredAt)
 	at := m.DeliveredAt
-	s.freeTaskMsg(tm)
+	tm.maybeFree()
 	s.seg.ReleaseMessage(m)
 	s.msgArrived(inst, stage, destIdx, at)
 }
@@ -293,7 +382,16 @@ func (s *system) msgArrived(inst *instance, stage, destIdx int, at sim.Time) {
 func (s *system) complete(inst *instance) {
 	inst.rec.CompletedAt = s.eng.Now()
 	inst.rt.inFlight--
-	s.collector.ObserveCompletion(inst.rec.Missed())
+	missed := inst.rec.Missed()
+	s.collector.ObserveCompletion(missed)
+	if !missed && len(s.openCrashes) > 0 {
+		// First met deadline since the crash(es): the system has
+		// recovered. Crash → this completion is the recovery latency.
+		for _, at := range s.openCrashes {
+			s.collector.ObserveRecoveryLatency(float64(inst.rec.CompletedAt-at) / float64(sim.Millisecond))
+		}
+		s.openCrashes = s.openCrashes[:0]
+	}
 	s.log.Record(inst.rec)
 	if s.tel.Enabled() {
 		rt, rec := inst.rt, inst.rec
@@ -310,8 +408,12 @@ func (s *system) complete(inst *instance) {
 		}
 		s.tel.RecordEndToEnd(name, rec.Period, rec.EndToEnd(), rt.setup.Spec.Deadline, rec.Missed())
 	}
+	// A period that straddled a node transition carries observations from
+	// a half-crashed world; with a staleness window configured, it does
+	// not become the adaptation input (the next clean period will).
+	tainted := s.cfg.Degradation.StalenessWindow > 0 && inst.epoch != s.nodeEpoch
 	last := inst.rt.lastCompleted
-	if last == nil || inst.rec.Period > last.Period {
+	if !tainted && (last == nil || inst.rec.Period > last.Period) {
 		inst.rt.lastCompleted = inst.rec
 	}
 	// All jobs and messages of this period have finished; the instance

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/clocksync"
 	"repro/internal/cpu"
 	"repro/internal/deadline"
@@ -38,6 +40,19 @@ type system struct {
 
 	// down marks crashed nodes (Config.Faults).
 	down []bool
+	// nodeEpoch increments on every node down/up transition; instances
+	// stamp it at launch so completions that straddled a transition can
+	// be recognized as tainted observations (Degradation.StalenessWindow).
+	nodeEpoch int
+	// nodeChangedAt is each node's last down/up transition time, and
+	// lastTransition the most recent across nodes; both seed the
+	// fallback-utilization and cooldown mechanisms. farPast until a
+	// transition happens.
+	nodeChangedAt  []sim.Time
+	lastTransition sim.Time
+	// openCrashes holds crash times awaiting the next met deadline — the
+	// recovery-latency observation (crash → first met deadline).
+	openCrashes []sim.Time
 
 	tasks []*runtimeTask
 
@@ -80,6 +95,11 @@ type runtimeTask struct {
 	lastOwn     []sim.Time
 	lastBusy    []sim.Time
 	lastAt      sim.Time
+	// unknown marks nodes whose last monitoring window overlapped a
+	// crash or recovery: their busy-time delta reads as idle while the
+	// node was really unobserved. Populated only when
+	// Degradation.FallbackUtil is set; nil otherwise.
+	unknown []bool
 
 	lastCompleted *task.PeriodRecord
 	inFlight      int
@@ -109,6 +129,14 @@ func (rt *runtimeTask) sampleUtil(s *system) {
 		rt.lastBusy[i] = busy
 		rt.lastOwn[i] = rt.ownBusy[i]
 	}
+	if s.cfg.Degradation.FallbackUtil > 0 {
+		if rt.unknown == nil {
+			rt.unknown = make([]bool, len(s.procs))
+		}
+		for i := range s.procs {
+			rt.unknown[i] = s.down[i] || s.nodeChangedAt[i] > rt.lastAt
+		}
+	}
 	rt.lastAt = now
 }
 
@@ -123,6 +151,32 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 	}
 	if len(setups) == 0 {
 		return Result{}, fmt.Errorf("core: no tasks to run")
+	}
+	// Compile the stochastic chaos processes into the concrete fault and
+	// partition schedule before anything is built. With chaos disabled
+	// this block leaves cfg and faults untouched, so the run is
+	// bit-identical to a chaos-free build.
+	faults := cfg.Faults
+	if cfg.Chaos.Enabled() {
+		horizon := patternHorizon(setups)
+		sched := chaos.Compile(cfg.Chaos, cfg.NumNodes, horizon, cfg.Seed)
+		faults = append([]Fault(nil), faults...)
+		for _, f := range sched.Faults {
+			faults = append(faults, Fault{Node: f.Node, At: f.At, Duration: f.Duration})
+		}
+		if len(sched.Partitions) > 0 {
+			wins := append([]network.Window(nil), cfg.Network.Partitions...)
+			for _, w := range sched.Partitions {
+				wins = append(wins, network.Window{Start: w.Start, End: w.End})
+			}
+			sort.Slice(wins, func(i, j int) bool { return wins[i].Start < wins[j].Start })
+			cfg.Network.Partitions = wins
+		}
+	}
+	if cfg.Network.LossSeed == 0 {
+		// Loss draws derive from the run seed unless the caller pinned a
+		// separate stream; irrelevant (no RNG exists) on a reliable segment.
+		cfg.Network.LossSeed = cfg.Seed
 	}
 	s := &system{
 		cfg:       cfg,
@@ -164,10 +218,15 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 	}
 
 	s.down = make([]bool, cfg.NumNodes)
+	s.nodeChangedAt = make([]sim.Time, cfg.NumNodes)
+	for i := range s.nodeChangedAt {
+		s.nodeChangedAt[i] = farPast
+	}
+	s.lastTransition = farPast
 	if cfg.ClockSync {
 		s.setupClocks()
 	}
-	for _, f := range cfg.Faults {
+	for _, f := range faults {
 		f := f
 		s.eng.Schedule(f.At, func() { s.failNode(f.Node) })
 		if f.Duration > 0 {
@@ -211,6 +270,7 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 	// Run to quiescence: all instances drain once period starts stop.
 	s.eng.Run()
 
+	s.collector.CountDropped(int(s.seg.Dropped()))
 	res := Result{
 		Metrics:        s.collector.Finish(),
 		Records:        s.log.Records(),
@@ -221,12 +281,37 @@ func Run(cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
 	return res, nil
 }
 
+// farPast initializes transition timestamps so zero-time comparisons
+// (first monitoring window starts at lastAt 0) can't false-positive.
+const farPast = sim.Time(-1 << 62)
+
+// patternHorizon returns the latest pattern end across the task set —
+// the horizon the chaos processes are compiled against. Setups are not
+// yet validated here, so nil patterns are skipped (they fail later).
+func patternHorizon(setups []TaskSetup) sim.Time {
+	var end sim.Time
+	for _, st := range setups {
+		if st.Pattern == nil {
+			continue
+		}
+		if e := sim.Time(st.Pattern.Periods()) * st.Spec.Period; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
 // failNode crashes a node: in-flight and queued work is lost.
 func (s *system) failNode(n int) {
 	if s.down[n] {
 		return
 	}
 	s.down[n] = true
+	s.nodeEpoch++
+	s.nodeChangedAt[n] = s.eng.Now()
+	s.lastTransition = s.eng.Now()
+	s.collector.CountCrash()
+	s.openCrashes = append(s.openCrashes, s.eng.Now())
 	s.procs[n].Fail()
 	s.log.Adaptation(trace.AdaptationEvent{
 		At: s.eng.Now(), Period: int(s.eng.Now() / sim.Second), Task: "-",
@@ -242,6 +327,10 @@ func (s *system) recoverNode(n int) {
 		return
 	}
 	s.down[n] = false
+	s.nodeEpoch++
+	s.nodeChangedAt[n] = s.eng.Now()
+	s.lastTransition = s.eng.Now()
+	s.collector.CountRecovery()
 	s.procs[n].Recover()
 	s.log.Adaptation(trace.AdaptationEvent{
 		At: s.eng.Now(), Period: int(s.eng.Now() / sim.Second), Task: "-",
@@ -386,7 +475,11 @@ func (s *system) newRuntimeTask(setup TaskSetup) (*runtimeTask, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt.mon, err = monitor.New(s.cfg.Monitor, setup.Spec, initial)
+	monCfg := s.cfg.Monitor
+	if w := s.cfg.Degradation.StalenessWindow; w > 0 && monCfg.StalenessWindow == 0 {
+		monCfg.StalenessWindow = w
+	}
+	rt.mon, err = monitor.New(monCfg, setup.Spec, initial)
 	if err != nil {
 		return nil, err
 	}
@@ -509,13 +602,30 @@ func (s *system) runPeriod(rt *runtimeTask, c int) {
 
 // adapt runs steps 1–2 of the management process for one task.
 func (s *system) adapt(rt *runtimeTask, c, items int) {
-	analysis := rt.mon.Analyze(rt.lastCompleted)
+	analysis := rt.mon.AnalyzeAt(rt.lastCompleted, s.eng.Now())
+	// Hysteresis: for CooldownPeriods after any node flaps, replicas are
+	// not shut down — a node that just came back (or is about to come
+	// back) would otherwise trigger immediate de-allocation of exactly
+	// the redundancy the next crash needs. Replication stays responsive.
+	if d := s.cfg.Degradation.CooldownPeriods; d > 0 && len(analysis.Shutdown) > 0 &&
+		s.eng.Now() < s.lastTransition+sim.Time(d)*rt.setup.Spec.Period {
+		analysis.Shutdown = analysis.Shutdown[:0]
+	}
 	if len(analysis.Replicate) == 0 && len(analysis.Shutdown) == 0 {
 		return
 	}
+	procs := manager.MaskedProcView{Utils: rt.utilSnapshot, Down: s.down}
+	raw := manager.MaskedProcView{Utils: rt.rawSnapshot, Down: s.down}
+	if f := s.cfg.Degradation.FallbackUtil; f > 0 {
+		// Forecast fallback: a recovering node has no trustworthy
+		// utilization sample, so the regression inputs substitute a
+		// conservative prior instead of "perfectly idle".
+		procs.Unknown, procs.Fallback = rt.unknown, f
+		raw.Unknown, raw.Fallback = rt.unknown, f
+	}
 	env := manager.Environment{
-		Procs:         manager.MaskedProcView{Utils: rt.utilSnapshot, Down: s.down},
-		RawProcs:      manager.MaskedProcView{Utils: rt.rawSnapshot, Down: s.down},
+		Procs:         procs,
+		RawProcs:      raw,
 		Items:         items,
 		TotalItems:    maxInt(s.totalItems(), items),
 		SlackFraction: s.cfg.Monitor.SlackFraction,

@@ -13,7 +13,11 @@ import (
 // cacheSchema versions the run fingerprint and the cached RunOutcome
 // layout together. Bump it whenever either changes meaning: stale
 // persistent cache entries then simply miss instead of being misread.
-const cacheSchema = 1
+//
+// v2: core.Config gained Chaos/Degradation, network.Config gained the
+// loss/jitter/partition knobs, and RunOutcome's metrics gained the
+// chaos counters.
+const cacheSchema = 2
 
 // demandProbeSizes are the item counts at which each subtask's demand
 // curve is sampled into the fingerprint. Demand functions are closures,
@@ -32,7 +36,10 @@ var demandProbeSizes = [...]int{100, 1700, 4900}
 func runFingerprint(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) string {
 	var b strings.Builder
 	cfg.Telemetry = nil
-	fmt.Fprintf(&b, "schema=%d;alg=%s;cfg=%+v;", cacheSchema, alg, cfg)
+	// %#v, not %+v: sim.Time's String() rounds to three decimals, so %+v
+	// would alias configs whose durations differ by less than a
+	// microsecond. The Go-syntax form prints the raw int64s.
+	fmt.Fprintf(&b, "schema=%d;alg=%s;cfg=%#v;", cacheSchema, alg, cfg)
 	for _, ts := range setups {
 		fmt.Fprintf(&b, "task=%s|period=%d|deadline=%d|homes=%v;",
 			ts.Spec.Name, int64(ts.Spec.Period), int64(ts.Spec.Deadline), ts.Homes)

@@ -208,3 +208,24 @@ func TestGoldenFigureCSV(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenExtChaos pins the chaos sweep: stochastic crash schedules,
+// message loss, and retransmission must all be pure functions of the cell
+// seed, so the rendered table is as reproducible as the clean figures.
+// Quick mode trims the grid to the low/medium intensities; two seeds
+// exercise the CI columns.
+func TestGoldenExtChaos(t *testing.T) {
+	e, err := ByID("ext-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(Context{Quick: true, Parallelism: 4, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := out.Tables[0].WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "extchaos.golden.csv", csv.Bytes())
+}

@@ -285,10 +285,17 @@ func (np *NonPredictive) ShouldShutdown(d *task.Deployment, stage int, env Envir
 	return d.ReplicaCount(stage) > 1
 }
 
-// MaskedProcView is a utilization snapshot with a liveness mask.
+// MaskedProcView is a utilization snapshot with a liveness mask. The
+// optional Unknown mask marks processors whose measurement is not
+// trustworthy — a node whose sampling window overlapped a crash reads as
+// idle when it is really just unobserved — and substitutes Fallback for
+// their utilization so recovering nodes neither attract every new replica
+// nor pass regression inputs the models were never fitted for.
 type MaskedProcView struct {
-	Utils []float64
-	Down  []bool
+	Utils    []float64
+	Down     []bool
+	Unknown  []bool
+	Fallback float64
 }
 
 // NumProcessors implements ProcView.
@@ -298,6 +305,9 @@ func (m MaskedProcView) NumProcessors() int { return len(m.Utils) }
 func (m MaskedProcView) Utilization(proc int) float64 {
 	if proc < 0 || proc >= len(m.Utils) {
 		panic(fmt.Sprintf("manager: processor %d out of %d", proc, len(m.Utils)))
+	}
+	if m.Unknown != nil && m.Unknown[proc] {
+		return m.Fallback
 	}
 	return m.Utils[proc]
 }

@@ -25,6 +25,13 @@ type RunMetrics struct {
 	Shutdowns      int     // replicas removed
 	AllocFailures  int     // Figure 5 FAILURE returns
 	UnfinishedWork int     // instances still running at drain time
+
+	// Chaos-layer observations; all zero on a clean run.
+	DroppedMessages int     // segment messages lost (drop prob or partition)
+	Retransmissions int     // inter-subtask handoffs resent after timeout
+	Crashes         int     // node-down transitions
+	Recoveries      int     // node-up transitions
+	MeanRecoveryMS  float64 // mean crash → first met deadline, milliseconds
 }
 
 // MissedPct returns the missed-deadline percentage MD. Instances that
@@ -87,6 +94,13 @@ type Collector struct {
 	replications int
 	shutdowns    int
 	failures     int
+
+	dropped     int
+	retransmits int
+	crashes     int
+	recoveries  int
+	recoverySum float64 // milliseconds
+	recoveryObs int
 }
 
 // NewCollector returns a collector; maxReplicas is Max(R), normally the
@@ -125,6 +139,25 @@ func (c *Collector) CountShutdown() { c.shutdowns++ }
 // CountAllocFailure records a Figure 5 FAILURE return.
 func (c *Collector) CountAllocFailure() { c.failures++ }
 
+// CountDropped adds n lost segment messages.
+func (c *Collector) CountDropped(n int) { c.dropped += n }
+
+// CountRetransmission records one handoff resend.
+func (c *Collector) CountRetransmission() { c.retransmits++ }
+
+// CountCrash records a node-down transition.
+func (c *Collector) CountCrash() { c.crashes++ }
+
+// CountRecovery records a node-up transition.
+func (c *Collector) CountRecovery() { c.recoveries++ }
+
+// ObserveRecoveryLatency records one crash → first-met-deadline interval
+// in milliseconds.
+func (c *Collector) ObserveRecoveryLatency(ms float64) {
+	c.recoverySum += ms
+	c.recoveryObs++
+}
+
 // Finish produces the run summary.
 func (c *Collector) Finish() RunMetrics {
 	// Completed > periods is normal in multi-task runs (see MissedPct):
@@ -142,6 +175,14 @@ func (c *Collector) Finish() RunMetrics {
 		Shutdowns:      c.shutdowns,
 		AllocFailures:  c.failures,
 		UnfinishedWork: unfinished,
+
+		DroppedMessages: c.dropped,
+		Retransmissions: c.retransmits,
+		Crashes:         c.crashes,
+		Recoveries:      c.recoveries,
+	}
+	if c.recoveryObs > 0 {
+		m.MeanRecoveryMS = c.recoverySum / float64(c.recoveryObs)
 	}
 	if c.samples > 0 {
 		m.MeanCPUUtil = c.cpuSum / float64(c.samples)

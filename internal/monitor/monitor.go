@@ -28,6 +28,11 @@ type Config struct {
 	// reacts to single periods (the default — the paper's monitoring is
 	// per-period).
 	SmoothingWindow int
+	// StalenessWindow, when positive, makes AnalyzeAt discard records
+	// whose completion is older than this: after a crash freezes the
+	// pipeline, an ancient "all fine" reading must not keep steering
+	// adaptation. 0 — the default — trusts every record forever.
+	StalenessWindow sim.Time
 }
 
 // DefaultConfig returns the paper's thresholds: 20 % required slack and a
@@ -46,6 +51,9 @@ func (c Config) validate() error {
 	}
 	if c.SmoothingWindow < 0 {
 		return fmt.Errorf("monitor: negative smoothing window %d", c.SmoothingWindow)
+	}
+	if c.StalenessWindow < 0 {
+		return fmt.Errorf("monitor: negative staleness window %v", c.StalenessWindow)
 	}
 	return nil
 }
@@ -67,6 +75,8 @@ type Monitor struct {
 	// windows smooth each stage's observed latency when SmoothingWindow
 	// exceeds one.
 	windows []*stats.SlidingWindow
+	// staleDiscards counts records AnalyzeAt rejected for age.
+	staleDiscards int
 }
 
 // New returns a monitor for the task with an initial deadline assignment.
@@ -146,6 +156,21 @@ func (m *Monitor) StageSlacks(rec *task.PeriodRecord) []StageSlack {
 	}
 	return out
 }
+
+// AnalyzeAt is Analyze with a staleness gate: a record completed more
+// than StalenessWindow before now is discarded (analyzed as nil) instead
+// of steering adaptation with obsolete observations. With a zero window
+// it is exactly Analyze.
+func (m *Monitor) AnalyzeAt(rec *task.PeriodRecord, now sim.Time) Analysis {
+	if rec != nil && m.cfg.StalenessWindow > 0 && rec.CompletedAt < now-m.cfg.StalenessWindow {
+		m.staleDiscards++
+		rec = nil
+	}
+	return m.Analyze(rec)
+}
+
+// StaleDiscards returns how many records AnalyzeAt rejected for age.
+func (m *Monitor) StaleDiscards() int { return m.staleDiscards }
 
 // Analyze classifies every stage of a completed period record.
 func (m *Monitor) Analyze(rec *task.PeriodRecord) Analysis {

@@ -11,6 +11,7 @@ package network
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"repro/internal/sim"
 )
@@ -31,6 +32,43 @@ type Config struct {
 	PerMessageOverheadBytes int
 	// LocalDelay is the fixed delivery latency for same-node messages.
 	LocalDelay sim.Time
+
+	// The fields below model a degraded segment. All-zero values keep the
+	// segment perfectly reliable and draw nothing from the RNG, so the
+	// event schedule is bit-identical to a build without them.
+
+	// DropProb is the probability a wire message is lost after occupying
+	// the medium (the bits were transmitted but never arrived). In [0, 1).
+	DropProb float64
+	// JitterAmp adds a uniform extra delivery delay in
+	// [0, JitterAmp × txTime] after transmission completes, modeling
+	// stack and switch variance. Must be ≥ 0.
+	JitterAmp float64
+	// SpikeProb is the probability a delivered message suffers an extra
+	// SpikeDelay latency spike (e.g. a retransmit storm elsewhere on the
+	// LAN). In [0, 1].
+	SpikeProb float64
+	// SpikeDelay is the extra latency applied when a spike fires.
+	SpikeDelay sim.Time
+	// LossSeed seeds the segment's private loss/jitter RNG stream. The
+	// core facade defaults it to the run seed so chaos runs stay
+	// deterministic per seed.
+	LossSeed uint64
+	// Partitions are transient whole-segment outages: any wire message
+	// whose transmission completes inside a window is lost. Must be
+	// time-sorted and non-overlapping. Local (same-node) delivery is
+	// unaffected.
+	Partitions []Window
+}
+
+// Window is a half-open outage interval [Start, End).
+type Window struct {
+	Start, End sim.Time
+}
+
+// lossy reports whether any degradation knob needs the RNG.
+func (c Config) lossy() bool {
+	return c.DropProb > 0 || c.JitterAmp > 0 || c.SpikeProb > 0
 }
 
 // DefaultConfig returns the Table 1 segment: 100 Mbit/s shared Ethernet.
@@ -50,6 +88,10 @@ type Message struct {
 	PayloadBytes int64
 	Meta         any
 	OnDeliver    func(m *Message)
+	// OnDrop fires instead of OnDeliver when the segment loses the
+	// message (drop probability or partition). The segment does not
+	// retransmit; recovery is the sender's business.
+	OnDrop func(m *Message)
 
 	EnqueuedAt  sim.Time
 	SentAt      sim.Time // transmission start (equals EnqueuedAt for local)
@@ -131,11 +173,17 @@ type Segment struct {
 
 	freeMsg *Message // recycled Message nodes (see AcquireMessage)
 
+	// Degradation state. rng is nil unless a loss/jitter knob is set, so
+	// a reliable segment makes zero draws and schedules zero extra events.
+	rng     *rand.Rand
+	partIdx int // first partition window not yet wholly in the past
+
 	cumBusy    sim.Time
 	busyStart  sim.Time
 	sent       uint64
 	wireBytes  int64
 	localSends uint64
+	dropped    uint64
 
 	observer func(m *Message)
 }
@@ -159,9 +207,23 @@ func NewSegment(eng *sim.Engine, cfg Config) *Segment {
 	if cfg.FrameOverheadBytes < 0 || cfg.PerMessageOverheadBytes < 0 || cfg.LocalDelay < 0 {
 		panic("network: negative overhead configuration")
 	}
+	if cfg.DropProb < 0 || cfg.DropProb >= 1 {
+		panic(fmt.Sprintf("network: drop probability %v outside [0,1)", cfg.DropProb))
+	}
+	if cfg.JitterAmp < 0 || cfg.SpikeProb < 0 || cfg.SpikeProb > 1 || cfg.SpikeDelay < 0 {
+		panic("network: negative jitter/spike configuration")
+	}
+	for i, w := range cfg.Partitions {
+		if w.End <= w.Start || (i > 0 && w.Start < cfg.Partitions[i-1].End) {
+			panic(fmt.Sprintf("network: partition windows must be sorted and non-overlapping, got %+v", cfg.Partitions))
+		}
+	}
 	s := &Segment{eng: eng, cfg: cfg}
 	s.onTxDone = s.txDone
 	s.onLocalDeliver = s.localDeliver
+	if cfg.lossy() {
+		s.rng = sim.NewRand(cfg.LossSeed, 0x10c5)
+	}
 	return s
 }
 
@@ -261,13 +323,39 @@ func (s *Segment) transmitNext() {
 	s.eng.After(s.inflightTx, s.onTxDone)
 }
 
-// txDone completes the in-flight transmission.
+// txDone completes the in-flight transmission. On a degraded segment the
+// message may then be lost (partition, drop probability) or delayed
+// (jitter, spike); every branch below is gated on its own knob so a
+// reliable segment takes the exact event schedule it always has.
 func (s *Segment) txDone() {
 	m, tx := s.inflight, s.inflightTx
 	s.cumBusy += tx
 	s.sent++
 	s.wireBytes += s.WireBytes(m.PayloadBytes)
-	m.DeliveredAt = s.eng.Now()
+	now := s.eng.Now()
+	if len(s.cfg.Partitions) > 0 && s.inPartition(now) {
+		s.drop(m)
+		return
+	}
+	if s.cfg.DropProb > 0 && s.rng.Float64() < s.cfg.DropProb {
+		s.drop(m)
+		return
+	}
+	var extra sim.Time
+	if s.cfg.JitterAmp > 0 {
+		extra = sim.Time(float64(tx) * s.cfg.JitterAmp * s.rng.Float64())
+	}
+	if s.cfg.SpikeProb > 0 && s.rng.Float64() < s.cfg.SpikeProb {
+		extra += s.cfg.SpikeDelay
+	}
+	if extra > 0 {
+		// The medium is free while the message limps through the stack;
+		// late deliveries ride a per-message timer.
+		s.transmitNext()
+		s.eng.After(extra, func() { s.deliver(m) })
+		return
+	}
+	m.DeliveredAt = now
 	m.delivered = true
 	s.transmitNext()
 	if s.observer != nil {
@@ -276,6 +364,39 @@ func (s *Segment) txDone() {
 	if m.OnDeliver != nil {
 		m.OnDeliver(m)
 	}
+}
+
+// deliver completes a jitter-delayed wire message.
+func (s *Segment) deliver(m *Message) {
+	m.DeliveredAt = s.eng.Now()
+	m.delivered = true
+	if s.observer != nil {
+		s.observer(m)
+	}
+	if m.OnDeliver != nil {
+		m.OnDeliver(m)
+	}
+}
+
+// drop loses a transmitted message: the bits occupied the wire but never
+// arrived. The observer does not see it (no delivery timestamps exist);
+// the sender hears about it only through OnDrop.
+func (s *Segment) drop(m *Message) {
+	s.dropped++
+	s.transmitNext()
+	if m.OnDrop != nil {
+		m.OnDrop(m)
+	}
+}
+
+// inPartition advances the partition cursor (transmission completions are
+// monotonic in time) and reports whether now falls inside an outage.
+func (s *Segment) inPartition(now sim.Time) bool {
+	ps := s.cfg.Partitions
+	for s.partIdx < len(ps) && ps[s.partIdx].End <= now {
+		s.partIdx++
+	}
+	return s.partIdx < len(ps) && ps[s.partIdx].Start <= now
 }
 
 // QueueLen returns the number of messages waiting (excluding the one in
@@ -290,6 +411,10 @@ func (s *Segment) Sent() uint64 { return s.sent }
 
 // LocalSends returns the number of same-node deliveries.
 func (s *Segment) LocalSends() uint64 { return s.localSends }
+
+// Dropped returns the number of wire messages lost to drop probability or
+// partitions.
+func (s *Segment) Dropped() uint64 { return s.dropped }
 
 // TotalWireBytes returns cumulative bytes transmitted, with overheads.
 func (s *Segment) TotalWireBytes() int64 { return s.wireBytes }

@@ -328,3 +328,148 @@ func TestMessagePoolReuse(t *testing.T) {
 		t.Fatalf("Sent = %d, want 2", got)
 	}
 }
+
+func TestDropProbability(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.DropProb = 0.3
+	cfg.LossSeed = 11
+	s := NewSegment(eng, cfg)
+	delivered, droppedCB := 0, 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s.Send(&Message{From: 0, To: 1, PayloadBytes: 100,
+			OnDeliver: func(*Message) { delivered++ },
+			OnDrop:    func(*Message) { droppedCB++ }})
+	}
+	eng.Run()
+	if delivered+droppedCB != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", delivered, droppedCB, n)
+	}
+	if got := s.Dropped(); got != uint64(droppedCB) {
+		t.Fatalf("Dropped() = %d, OnDrop fired %d times", got, droppedCB)
+	}
+	// 30% drop over 2000 messages: expect within a loose band.
+	if droppedCB < n/5 || droppedCB > n/2 {
+		t.Fatalf("dropped %d of %d, far from 30%%", droppedCB, n)
+	}
+	if s.Sent() != n {
+		t.Fatalf("Sent = %d, want %d (drops still occupy the wire)", s.Sent(), n)
+	}
+}
+
+func TestDropDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.DropProb = 0.25
+		cfg.LossSeed = seed
+		s := NewSegment(eng, cfg)
+		var fates []bool
+		for i := 0; i < 200; i++ {
+			s.Send(&Message{From: 0, To: 1, PayloadBytes: 64,
+				OnDeliver: func(*Message) { fates = append(fates, true) },
+				OnDrop:    func(*Message) { fates = append(fates, false) }})
+		}
+		eng.Run()
+		return fates
+	}
+	a, b := run(5), run(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("message %d fate differs across identical runs", i)
+		}
+	}
+	c := run(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different loss seeds produced identical fates")
+	}
+}
+
+func TestJitterDelaysDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.JitterAmp = 2.0
+	cfg.LossSeed = 9
+	s := NewSegment(eng, cfg)
+	base := s.TxTime(4096)
+	sawLate := false
+	for i := 0; i < 50; i++ {
+		m := &Message{From: 0, To: 1, PayloadBytes: 4096}
+		m.OnDeliver = func(m *Message) {
+			lat := m.TotalDelay() - m.BufferDelay()
+			if lat < base {
+				t.Fatalf("delivery faster than tx time: %v < %v", lat, base)
+			}
+			if lat > base {
+				sawLate = true
+			}
+		}
+		s.Send(m)
+	}
+	eng.Run()
+	if !sawLate {
+		t.Fatal("JitterAmp=2 never delayed a delivery")
+	}
+}
+
+func TestSpikeDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.SpikeProb = 1
+	cfg.SpikeDelay = 5 * sim.Millisecond
+	cfg.LossSeed = 1
+	s := NewSegment(eng, cfg)
+	m := &Message{From: 0, To: 1, PayloadBytes: 100}
+	var lat sim.Time
+	m.OnDeliver = func(m *Message) { lat = m.TotalDelay() }
+	s.Send(m)
+	eng.Run()
+	want := s.TxTime(100) + 5*sim.Millisecond
+	if lat != want {
+		t.Fatalf("spiked latency %v, want %v", lat, want)
+	}
+}
+
+func TestPartitionDropsWireNotLocal(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Partitions = []Window{{Start: 0, End: sim.Second}}
+	s := NewSegment(eng, cfg)
+	wireDropped, localDelivered := false, false
+	s.Send(&Message{From: 0, To: 1, PayloadBytes: 100,
+		OnDeliver: func(*Message) { t.Error("wire message delivered during partition") },
+		OnDrop:    func(*Message) { wireDropped = true }})
+	s.Send(&Message{From: 2, To: 2, PayloadBytes: 100,
+		OnDeliver: func(*Message) { localDelivered = true }})
+	// After the partition heals, wire traffic flows again.
+	healed := false
+	eng.Schedule(2*sim.Second, func() {
+		s.Send(&Message{From: 0, To: 1, PayloadBytes: 100,
+			OnDeliver: func(*Message) { healed = true },
+			OnDrop:    func(*Message) { t.Error("dropped after partition healed") }})
+	})
+	eng.Run()
+	if !wireDropped || !localDelivered || !healed {
+		t.Fatalf("wireDropped=%v localDelivered=%v healed=%v", wireDropped, localDelivered, healed)
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", s.Dropped())
+	}
+}
+
+// A reliable segment must not construct an RNG at all: loss behavior is
+// opt-in and the clean event schedule stays untouched.
+func TestReliableSegmentHasNoRNG(t *testing.T) {
+	s := NewSegment(sim.NewEngine(), DefaultConfig())
+	if s.rng != nil {
+		t.Fatal("reliable segment allocated a loss RNG")
+	}
+}

@@ -110,13 +110,15 @@ type Recorder struct {
 	adapts map[string]*Counter
 	procs  map[int]*Gauge
 
-	queueWait *Histogram
-	msgBuffer *Histogram
-	msgWire   *Histogram
-	msgBytes  *Counter
-	msgLocal  *Counter
-	msgRemote *Counter
-	netUtil   *Gauge
+	queueWait  *Histogram
+	msgBuffer  *Histogram
+	msgWire    *Histogram
+	msgBytes   *Counter
+	msgLocal   *Counter
+	msgRemote  *Counter
+	msgDropped *Counter
+	msgRetx    *Counter
+	netUtil    *Gauge
 }
 
 // New returns an enabled recorder.
@@ -136,13 +138,15 @@ func New(cfg Config) *Recorder {
 		adapts:   map[string]*Counter{},
 		procs:    map[int]*Gauge{},
 
-		queueWait: reg.Histogram("rm_job_queue_wait"),
-		msgBuffer: reg.Histogram("rm_msg_buffer_delay"),
-		msgWire:   reg.Histogram("rm_msg_wire_delay"),
-		msgBytes:  reg.Counter("rm_msg_payload_bytes_total"),
-		msgLocal:  reg.Counter("rm_msg_local_total"),
-		msgRemote: reg.Counter("rm_msg_wire_total"),
-		netUtil:   reg.Gauge("rm_net_util"),
+		queueWait:  reg.Histogram("rm_job_queue_wait"),
+		msgBuffer:  reg.Histogram("rm_msg_buffer_delay"),
+		msgWire:    reg.Histogram("rm_msg_wire_delay"),
+		msgBytes:   reg.Counter("rm_msg_payload_bytes_total"),
+		msgLocal:   reg.Counter("rm_msg_local_total"),
+		msgRemote:  reg.Counter("rm_msg_wire_total"),
+		msgDropped: reg.Counter("rm_msg_dropped_total"),
+		msgRetx:    reg.Counter("rm_msg_retransmit_total"),
+		netUtil:    reg.Gauge("rm_net_util"),
 	}
 }
 
@@ -357,6 +361,28 @@ func (r *Recorder) RecordAdaptation(at sim.Time, task string, stage, period int,
 			Kind: kind, Value: value,
 		})
 	}
+}
+
+// CountMessageDrop counts one lost segment message (drop probability or
+// partition), observed by the sender through the chaos layer.
+func (r *Recorder) CountMessageDrop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.msgDropped.Inc()
+	r.mu.Unlock()
+}
+
+// CountRetransmit counts one inter-subtask handoff resent after a
+// delivery-timeout expiry.
+func (r *Recorder) CountRetransmit() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.msgRetx.Inc()
+	r.mu.Unlock()
 }
 
 // RecordForecastEval counts one Figure 5 forecast evaluation (wired from
