@@ -26,7 +26,7 @@ test:
 # simulations across workers — keep the hot paths, their locking, and the
 # sweep cache honest under the race detector.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/experiment/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/telemetry/...

@@ -10,9 +10,11 @@
 //	rmexperiments -quick          # trimmed sweeps (smoke run)
 //	rmexperiments -seeds 5        # Monte Carlo: 5 replications per sweep cell, tables gain ±95% CI columns
 //	rmexperiments -cache-dir .rmcache  # persistent run cache: warm re-renders skip simulation
+//	rmexperiments -remote http://host:8080  # delegate wire-expressible runs to an rmserved daemon
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/cliflag"
 	"repro/internal/experiment"
 )
 
@@ -30,12 +35,25 @@ func main() {
 		out      = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
 		md       = flag.String("md", "", "write a single Markdown report to this file")
 		quick    = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
-		seeds    = flag.Int("seeds", 1, "Monte Carlo replications per sweep cell; ≥2 adds ±95% CI columns")
-		cacheDir = flag.String("cache-dir", "", "persistent content-addressed run cache directory (created if missing)")
+		parallel = cliflag.Parallel(flag.CommandLine)
+		seeds    = cliflag.Seeds(flag.CommandLine)
+		cacheDir = cliflag.CacheDir(flag.CommandLine)
+		remote   = flag.String("remote", "", "rmserved base URL; wire-expressible runs are delegated to the daemon instead of simulated locally")
 		checkDet = flag.Bool("check-determinism", false, "run each experiment twice (serial, then parallel with a cold cache) and fail unless the outputs are byte-identical")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		cl := client.New(*remote)
+		experiment.SetRemoteRunner(func(ctx context.Context, req api.RunRequest) (experiment.RunOutcome, error) {
+			res, err := cl.RunSync(ctx, req)
+			if err != nil {
+				return experiment.RunOutcome{}, err
+			}
+			return experiment.OutcomeFromAPI(res), nil
+		})
+		fmt.Printf("remote mode: delegating wire-expressible runs to %s\n", *remote)
+	}
 
 	if *cacheDir != "" && !*checkDet {
 		cache, err := experiment.OpenDiskCache(*cacheDir)
@@ -116,8 +134,15 @@ func main() {
 		fmt.Printf("markdown report written to %s\n", *md)
 	}
 	s := experiment.SchedulerStats()
-	fmt.Printf("scheduler: %d runs requested — %d deduped in flight, %d memory hits, %d disk hits, %d simulated — wall-clock %v\n",
-		s.Requested, s.Deduped, s.MemoryHits, s.DiskHits, s.Simulated, time.Since(wallStart).Round(time.Millisecond))
+	fmt.Printf("scheduler: %d runs requested — %d deduped in flight, %d memory hits, %d disk hits, %d simulated",
+		s.Requested, s.Deduped, s.MemoryHits, s.DiskHits, s.Simulated)
+	if s.Remote > 0 {
+		fmt.Printf(", %d remote", s.Remote)
+	}
+	if s.Cancelled > 0 {
+		fmt.Printf(", %d cancelled", s.Cancelled)
+	}
+	fmt.Printf(" — wall-clock %v\n", time.Since(wallStart).Round(time.Millisecond))
 }
 
 // checkDeterminism renders every experiment twice — once with serial

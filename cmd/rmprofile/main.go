@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	var (
-		seed = flag.Uint64("seed", 11, "profiling seed")
+		seed = cliflag.Seed(flag.CommandLine, 11)
 		reps = flag.Int("reps", 3, "measurements per grid point")
 	)
 	flag.Parse()

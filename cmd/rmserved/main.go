@@ -1,0 +1,104 @@
+// Command rmserved serves the simulation engine as a long-lived daemon:
+// runs and sweeps submitted over the versioned v1 HTTP API flow through
+// the same shared run scheduler the batch tools use, so identical
+// submissions — across clients, or between a client and a local
+// rmexperiments — are simulated once and deduped everywhere else.
+//
+// Usage:
+//
+//	rmserved                        # listen on :8080, NumCPU workers
+//	rmserved -addr 127.0.0.1:0      # pick a free port (printed on stdout)
+//	rmserved -workers 4 -queue 128  # bound concurrency and backpressure
+//	rmserved -cache-dir .rmcache    # persistent cross-restart run cache
+//
+// Submit with curl (see README §Serving) or the internal/client package.
+// SIGTERM/SIGINT drains: admissions close with 503, in-flight and queued
+// jobs finish, results stay fetchable until the last job settles.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = cliflag.Addr(flag.CommandLine, ":8080")
+		parallel = cliflag.Parallel(flag.CommandLine)
+		cacheDir = cliflag.CacheDir(flag.CommandLine)
+		workers  = flag.Int("workers", 0, "max concurrently executing jobs (0 = NumCPU)")
+		queue    = flag.Int("queue", 64, "max jobs waiting for a worker before submissions get 429")
+		verbose  = flag.Bool("v", false, "log at debug level (per-request start lines)")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv, err := server.New(server.Options{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Parallelism: *parallel,
+		CacheDir:    *cacheDir,
+		Logger:      log,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The smoke test (and humans scripting against -addr :0) parse this
+	// line for the bound address; keep its shape stable.
+	fmt.Printf("rmserved listening on http://%s/v1\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Info("signal received; draining")
+	// Drain first — jobs finish and results stay fetchable — then shut the
+	// listener down. A second signal would kill the process the usual way.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Error("drain failed", "error", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("shutdown", "error", err)
+	}
+	log.Info("rmserved exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmserved:", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
@@ -41,7 +42,7 @@ func main() {
 		min      = flag.Int("min", 500, "minimum workload (tracks per period)")
 		max      = flag.Int("max", 12000, "maximum workload (tracks per period)")
 		periods  = flag.Int("periods", 120, "number of periods to simulate")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
+		seed     = cliflag.Seed(flag.CommandLine, 1)
 		traceOut = flag.String("trace", "", "write the per-period trace CSV to this file")
 		events   = flag.Bool("events", false, "print every adaptation event")
 		jsonOut  = flag.String("json", "", "write the full run as JSON to this file ('-' for stdout)")
@@ -114,6 +115,11 @@ func main() {
 	}
 	if *telOut != "" || *chrome != "" || *httpAddr != "" {
 		cfg.Telemetry = telemetry.New(telemetry.DefaultConfig())
+	}
+	// Validate at the CLI boundary so a misconfigured run reports every
+	// invalid field at once instead of failing on the first.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 	res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
 	if err != nil {

@@ -1,0 +1,145 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Pattern kinds accepted on the wire (the workload package's generators
+// plus the recorded-trace escape hatch).
+const (
+	PatternTriangular = "triangular"
+	PatternIncreasing = "increasing"
+	PatternDecreasing = "decreasing"
+	PatternStep       = "step"
+	PatternBurst      = "burst"
+	PatternSinusoid   = "sinusoid"
+	PatternConstant   = "constant"
+	PatternCustom     = "custom"
+)
+
+// Pattern is the wire form of a workload pattern. Min/Max/Periods apply
+// to every kind except custom, which replays Values verbatim; the
+// remaining fields parameterize individual kinds and are ignored (and
+// must be zero) elsewhere.
+type Pattern struct {
+	Kind    string `json:"kind"`
+	Min     int    `json:"min,omitempty"`
+	Max     int    `json:"max,omitempty"`
+	Periods int    `json:"periods,omitempty"`
+	// Cycles parameterizes triangular and sinusoid.
+	Cycles int `json:"cycles,omitempty"`
+	// SwitchAt parameterizes step.
+	SwitchAt int `json:"switch_at,omitempty"`
+	// Every and Len parameterize burst.
+	Every int `json:"every,omitempty"`
+	Len   int `json:"len,omitempty"`
+	// Value parameterizes constant.
+	Value int `json:"value,omitempty"`
+	// Values is the recorded series of a custom pattern; Label names it.
+	Values []int  `json:"values,omitempty"`
+	Label  string `json:"label,omitempty"`
+}
+
+// Validate aggregates every invalid field of the pattern. It enforces
+// the same preconditions the workload constructors panic on, so a
+// validated pattern always materializes.
+func (p Pattern) Validate() error {
+	var errs []error
+	if p.Kind == PatternCustom {
+		if len(p.Values) == 0 {
+			errs = append(errs, fmt.Errorf("api: custom pattern needs ≥1 value"))
+		}
+		for i, v := range p.Values {
+			if v < 0 {
+				errs = append(errs, fmt.Errorf("api: custom pattern value %d at period %d is negative", v, i))
+			}
+		}
+		return errors.Join(errs...)
+	}
+	if p.Kind == PatternConstant {
+		if p.Value < 0 {
+			errs = append(errs, fmt.Errorf("api: negative constant workload %d", p.Value))
+		}
+		if p.Periods < 1 {
+			errs = append(errs, fmt.Errorf("api: pattern needs ≥1 period, got %d", p.Periods))
+		}
+		return errors.Join(errs...)
+	}
+	if p.Min < 0 || p.Max < p.Min {
+		errs = append(errs, fmt.Errorf("api: pattern interval [%d,%d] invalid", p.Min, p.Max))
+	}
+	if p.Periods < 1 {
+		errs = append(errs, fmt.Errorf("api: pattern needs ≥1 period, got %d", p.Periods))
+	}
+	switch p.Kind {
+	case PatternTriangular, PatternSinusoid:
+		if p.Cycles < 1 {
+			errs = append(errs, fmt.Errorf("api: %s pattern needs ≥1 cycle, got %d", p.Kind, p.Cycles))
+		}
+	case PatternIncreasing, PatternDecreasing:
+	case PatternStep:
+		if p.SwitchAt < 0 || p.SwitchAt > p.Periods {
+			errs = append(errs, fmt.Errorf("api: step switch %d out of [0,%d]", p.SwitchAt, p.Periods))
+		}
+	case PatternBurst:
+		if p.Every < 1 || p.Len < 1 || p.Len > p.Every {
+			errs = append(errs, fmt.Errorf("api: burst every=%d len=%d invalid", p.Every, p.Len))
+		}
+	default:
+		errs = append(errs, fmt.Errorf("api: unknown pattern kind %q", p.Kind))
+	}
+	return errors.Join(errs...)
+}
+
+// ToWorkload materializes the wire pattern.
+func (p Pattern) ToWorkload() (workload.Pattern, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch p.Kind {
+	case PatternTriangular:
+		return workload.NewTriangular(p.Min, p.Max, p.Periods, p.Cycles), nil
+	case PatternIncreasing:
+		return workload.NewIncreasingRamp(p.Min, p.Max, p.Periods), nil
+	case PatternDecreasing:
+		return workload.NewDecreasingRamp(p.Min, p.Max, p.Periods), nil
+	case PatternStep:
+		return workload.NewStep(p.Min, p.Max, p.Periods, p.SwitchAt), nil
+	case PatternBurst:
+		return workload.NewBurst(p.Min, p.Max, p.Periods, p.Every, p.Len), nil
+	case PatternSinusoid:
+		return workload.NewSinusoid(p.Min, p.Max, p.Periods, p.Cycles), nil
+	case PatternConstant:
+		return workload.NewConstant(p.Value, p.Periods), nil
+	case PatternCustom:
+		return workload.NewCustom(p.Label, p.Values), nil
+	}
+	return nil, fmt.Errorf("api: unknown pattern kind %q", p.Kind)
+}
+
+// PatternFromWorkload encodes a concrete workload pattern onto the wire;
+// ok is false for pattern types the schema cannot express.
+func PatternFromWorkload(w workload.Pattern) (Pattern, bool) {
+	switch p := w.(type) {
+	case workload.Triangular:
+		return Pattern{Kind: PatternTriangular, Min: p.Min, Max: p.Max, Periods: p.N, Cycles: p.Cycles}, true
+	case workload.IncreasingRamp:
+		return Pattern{Kind: PatternIncreasing, Min: p.Min, Max: p.Max, Periods: p.N}, true
+	case workload.DecreasingRamp:
+		return Pattern{Kind: PatternDecreasing, Min: p.Min, Max: p.Max, Periods: p.N}, true
+	case workload.Step:
+		return Pattern{Kind: PatternStep, Min: p.Min, Max: p.Max, Periods: p.N, SwitchAt: p.SwitchAt}, true
+	case workload.Burst:
+		return Pattern{Kind: PatternBurst, Min: p.Min, Max: p.Max, Periods: p.N, Every: p.Every, Len: p.Len}, true
+	case workload.Sinusoid:
+		return Pattern{Kind: PatternSinusoid, Min: p.Min, Max: p.Max, Periods: p.N, Cycles: p.Cycles}, true
+	case workload.Constant:
+		return Pattern{Kind: PatternConstant, Value: p.Value, Periods: p.N}, true
+	case workload.Custom:
+		return Pattern{Kind: PatternCustom, Label: p.Label, Values: p.Values}, true
+	}
+	return Pattern{}, false
+}

@@ -1,0 +1,250 @@
+// Package client is the Go client for the rmserved daemon's v1 API. It
+// depends only on the api wire schema — a client binary does not link the
+// simulation engine — and mirrors the endpoint surface one-to-one:
+// SubmitRun/SubmitSweep, Job/Jobs/Cancel, Events (SSE), Stats, plus the
+// Wait and RunSync conveniences that block until a job settles.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Client talks to one rmserved base URL (e.g. "http://127.0.0.1:8080").
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval paces the polling fallback in Wait when the SSE stream
+	// is unavailable. Zero means 100ms.
+	PollInterval time.Duration
+}
+
+// New builds a client for the given base URL using http.DefaultClient.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+}
+
+// NewWithHTTPClient builds a client with a caller-supplied http.Client
+// (timeouts, transports, test doubles).
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rmserved: %s (http %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// do performs one JSON request/response exchange.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into an *APIError, tolerating
+// non-envelope bodies (proxies, panics).
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env api.ErrorEnvelope
+	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	return &APIError{Status: resp.StatusCode, Code: api.CodeInternal, Message: strings.TrimSpace(string(data))}
+}
+
+// SubmitRun submits one simulation and returns the accepted job.
+func (c *Client) SubmitRun(ctx context.Context, req api.RunRequest) (api.Job, error) {
+	if req.SchemaVersion == 0 {
+		req.SchemaVersion = api.SchemaVersion
+	}
+	var j api.Job
+	err := c.do(ctx, http.MethodPost, "/v1/runs", req, &j)
+	return j, err
+}
+
+// SubmitSweep submits one figure sweep and returns the accepted job.
+func (c *Client) SubmitSweep(ctx context.Context, req api.SweepRequest) (api.Job, error) {
+	if req.SchemaVersion == 0 {
+		req.SchemaVersion = api.SchemaVersion
+	}
+	var j api.Job
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &j)
+	return j, err
+}
+
+// Job fetches one job's current snapshot.
+func (c *Client) Job(ctx context.Context, id string) (api.Job, error) {
+	var j api.Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Jobs lists every job the daemon knows, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
+	var out []api.Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a queued or running job and returns its terminal
+// snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (api.Job, error) {
+	var j api.Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Stats fetches the daemon's scheduler, queue, and telemetry counters.
+func (c *Client) Stats(ctx context.Context) (api.Stats, error) {
+	var st api.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Events subscribes to a job's SSE stream, invoking fn for every
+// snapshot until the job reaches a terminal state, the server closes the
+// stream, or ctx is cancelled. Returns the last snapshot observed.
+func (c *Client) Events(ctx context.Context, id string, fn func(api.Job)) (api.Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return api.Job{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return api.Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.Job{}, decodeError(resp)
+	}
+	var last api.Job
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var j api.Job
+		if err := json.Unmarshal([]byte(data), &j); err != nil {
+			return last, fmt.Errorf("client: decoding event: %w", err)
+		}
+		last = j
+		if fn != nil {
+			fn(j)
+		}
+		if api.TerminalState(j.State) {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	return last, io.ErrUnexpectedEOF
+}
+
+// Wait blocks until the job reaches a terminal state, preferring the SSE
+// stream and falling back to polling if streaming fails mid-flight.
+func (c *Client) Wait(ctx context.Context, id string) (api.Job, error) {
+	if j, err := c.Events(ctx, id, nil); err == nil {
+		return j, nil
+	} else if ctx.Err() != nil {
+		return j, ctx.Err()
+	}
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return api.Job{}, err
+		}
+		if api.TerminalState(j.State) {
+			return j, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return j, ctx.Err()
+		}
+	}
+}
+
+// RunSync submits a run and blocks for its result — the remote analogue
+// of experiment.ScheduledRun. A failed or cancelled job is returned as
+// an error.
+func (c *Client) RunSync(ctx context.Context, req api.RunRequest) (api.RunResult, error) {
+	j, err := c.SubmitRun(ctx, req)
+	if err != nil {
+		return api.RunResult{}, err
+	}
+	id := j.ID
+	j, err = c.Wait(ctx, id)
+	if err != nil {
+		// Best effort: don't leave the job running server-side when the
+		// caller gave up on it.
+		if ctx.Err() != nil {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, _ = c.Cancel(cctx, id)
+			cancel()
+		}
+		return api.RunResult{}, err
+	}
+	switch j.State {
+	case api.JobDone:
+		if j.Run == nil {
+			return api.RunResult{}, fmt.Errorf("client: job %s done without a run result", j.ID)
+		}
+		return *j.Run, nil
+	case api.JobCancelled:
+		return api.RunResult{}, fmt.Errorf("client: job %s cancelled: %s", j.ID, j.Error)
+	default:
+		return api.RunResult{}, fmt.Errorf("client: job %s failed: %s", j.ID, j.Error)
+	}
+}

@@ -1,0 +1,60 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// TestDecodeErrorEnvelope: a proper envelope surfaces its code and
+// message; a non-envelope body (proxy, panic page) degrades gracefully.
+func TestDecodeErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/enveloped":
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":{"code":"not_found","message":"unknown job"}}`))
+		default:
+			w.WriteHeader(http.StatusBadGateway)
+			w.Write([]byte("<html>upstream sad</html>"))
+		}
+	}))
+	defer ts.Close()
+	cl := New(ts.URL)
+
+	_, err := cl.Job(context.Background(), "enveloped")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound || apiErr.Status != 404 {
+		t.Errorf("enveloped error decoded as %v", err)
+	}
+
+	_, err = cl.Job(context.Background(), "garbage")
+	if !errors.As(err, &apiErr) || apiErr.Status != 502 || apiErr.Code != api.CodeInternal {
+		t.Errorf("non-envelope error decoded as %v", err)
+	}
+}
+
+// TestSubmitDefaultsSchemaVersion: a zero SchemaVersion is filled in so
+// hand-built requests don't trip validation.
+func TestSubmitDefaultsSchemaVersion(t *testing.T) {
+	var got api.RunRequest
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Error(err)
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"schema_version":1,"id":"job-1","kind":"run","state":"queued","created_ms":1}`))
+	}))
+	defer ts.Close()
+	if _, err := New(ts.URL).SubmitRun(context.Background(), api.RunRequest{Algorithm: api.AlgPredictive}); err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != api.SchemaVersion {
+		t.Errorf("submitted schema_version %d, want %d", got.SchemaVersion, api.SchemaVersion)
+	}
+}

@@ -1,0 +1,38 @@
+// Package cliflag defines the flags shared by the rmsim, rmexperiments,
+// rmprofile, and rmserved binaries in one place, so a flag spelled the
+// same way means the same thing — same name, same help text, same
+// default — in every tool. Binary-specific flags stay in their mains;
+// only genuinely shared knobs live here. The README's flag matrix is
+// generated from these definitions in spirit: update both together.
+package cliflag
+
+import "flag"
+
+// Seed registers -seed: the deterministic simulation (or profiling)
+// seed. Defaults differ per binary (rmsim pins 1, rmprofile pins 11) so
+// historical outputs stay reproducible; the default is the caller's.
+func Seed(fs *flag.FlagSet, def uint64) *uint64 {
+	return fs.Uint64("seed", def, "deterministic simulation seed")
+}
+
+// Parallel registers -parallel: the worker-pool width for concurrent
+// simulations. Zero means NumCPU.
+func Parallel(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+}
+
+// CacheDir registers -cache-dir: the persistent content-addressed run
+// cache. Empty disables persistence.
+func CacheDir(fs *flag.FlagSet) *string {
+	return fs.String("cache-dir", "", "persistent content-addressed run cache directory (created if missing)")
+}
+
+// Seeds registers -seeds: Monte Carlo replications per sweep cell.
+func Seeds(fs *flag.FlagSet) *int {
+	return fs.Int("seeds", 1, "Monte Carlo replications per sweep cell; ≥2 adds ±95% CI columns")
+}
+
+// Addr registers -addr: a listen address for a serving binary.
+func Addr(fs *flag.FlagSet, def string) *string {
+	return fs.String("addr", def, "listen address (host:port; :0 picks a free port)")
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/chaos"
@@ -158,16 +159,17 @@ func HardenedDegradation() Degradation {
 }
 
 func (d Degradation) validate() error {
+	var errs []error
 	if d.DeliveryTimeout < 0 || d.StalenessWindow < 0 {
-		return fmt.Errorf("core: negative degradation timeout/window")
+		errs = append(errs, fmt.Errorf("core: negative degradation timeout/window"))
 	}
 	if d.MaxRetries < 0 || d.CooldownPeriods < 0 {
-		return fmt.Errorf("core: negative degradation retry/cooldown count")
+		errs = append(errs, fmt.Errorf("core: negative degradation retry/cooldown count"))
 	}
 	if d.FallbackUtil < 0 || d.FallbackUtil > 1 {
-		return fmt.Errorf("core: fallback utilization %v out of [0,1]", d.FallbackUtil)
+		errs = append(errs, fmt.Errorf("core: fallback utilization %v out of [0,1]", d.FallbackUtil))
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // DefaultConfig returns the Table 1 baseline.
@@ -189,46 +191,50 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Every invalid field is
+// collected into one joined error (one line per problem) instead of
+// stopping at the first, so CLI and API callers can surface the whole
+// diagnosis at once.
 func (c Config) Validate() error {
+	var errs []error
 	if c.NumNodes < 1 {
-		return fmt.Errorf("core: need ≥1 node, got %d", c.NumNodes)
+		errs = append(errs, fmt.Errorf("core: need ≥1 node, got %d", c.NumNodes))
 	}
 	if c.Slice <= 0 {
-		return fmt.Errorf("core: non-positive slice %v", c.Slice)
+		errs = append(errs, fmt.Errorf("core: non-positive slice %v", c.Slice))
 	}
 	if c.UtilThreshold <= 0 || c.UtilThreshold > 1 {
-		return fmt.Errorf("core: utilization threshold %v out of (0,1]", c.UtilThreshold)
+		errs = append(errs, fmt.Errorf("core: utilization threshold %v out of (0,1]", c.UtilThreshold))
 	}
 	if c.WarmupDemand < 0 {
-		return fmt.Errorf("core: negative warm-up demand %v", c.WarmupDemand)
+		errs = append(errs, fmt.Errorf("core: negative warm-up demand %v", c.WarmupDemand))
 	}
 	if c.OverlapFraction < 0 || c.OverlapFraction >= 1 {
-		return fmt.Errorf("core: overlap fraction %v out of [0,1)", c.OverlapFraction)
+		errs = append(errs, fmt.Errorf("core: overlap fraction %v out of [0,1)", c.OverlapFraction))
 	}
 	if c.ClockSync {
 		if c.ClockDriftPPM < 0 || c.ClockInitialOffset < 0 {
-			return fmt.Errorf("core: negative clock drift/offset bounds")
+			errs = append(errs, fmt.Errorf("core: negative clock drift/offset bounds"))
 		}
 		if c.ClockSyncPeriod <= 0 {
-			return fmt.Errorf("core: non-positive clock sync period %v", c.ClockSyncPeriod)
+			errs = append(errs, fmt.Errorf("core: non-positive clock sync period %v", c.ClockSyncPeriod))
 		}
 	}
 	for i, f := range c.Faults {
 		if f.Node < 0 || f.Node >= c.NumNodes {
-			return fmt.Errorf("core: fault %d targets node %d outside [0,%d)", i, f.Node, c.NumNodes)
+			errs = append(errs, fmt.Errorf("core: fault %d targets node %d outside [0,%d)", i, f.Node, c.NumNodes))
 		}
 		if f.At < 0 || f.Duration < 0 {
-			return fmt.Errorf("core: fault %d with negative time", i)
+			errs = append(errs, fmt.Errorf("core: fault %d with negative time", i))
 		}
 	}
 	if err := c.Chaos.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := c.Degradation.validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // TaskSetup binds one periodic task to its workload pattern and fitted

@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -18,6 +21,13 @@ import (
 // first requester enqueues the cell, later requesters join it, and the
 // finished outcome is memoized for the life of the process (and, when a
 // DiskCache is installed, across processes).
+//
+// Every cell is also a cancellable job: requesters wait with a context,
+// the cell executes under a private context that is cancelled only when
+// ALL its requesters have abandoned it, and a cancelled cell is evicted
+// from the memo so a later identical request re-runs it. That is what
+// lets the rmserved daemon kill queued or running jobs without leaking
+// worker goroutines.
 
 // RunOutcome is the cacheable summary of one simulation run: the §5.2
 // metrics plus the cheap derived counts the batch experiments table.
@@ -40,10 +50,16 @@ type runEntry struct {
 	alg    core.Algorithm
 	setups []core.TaskSetup
 
+	// runCtx governs the cell's execution; cancelRun fires when the last
+	// waiter abandons the cell (see scheduler.abandon).
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+
 	done     chan struct{}
 	out      RunOutcome
 	err      error
 	finished bool // guarded by the scheduler mutex; set before done closes
+	waiters  int  // guarded by the scheduler mutex; live requesters
 }
 
 // wait blocks until the entry's run completes.
@@ -52,16 +68,38 @@ func (e *runEntry) wait() (RunOutcome, error) {
 	return e.out, e.err
 }
 
+// waitCtx blocks until the run completes or ctx is done; abandoning a
+// cell releases this requester's stake in it (the cell is cancelled once
+// nobody is left waiting).
+func (e *runEntry) waitCtx(ctx context.Context, s *scheduler) (RunOutcome, error) {
+	if ctx.Done() == nil {
+		return e.wait()
+	}
+	select {
+	case <-e.done:
+		return e.out, e.err
+	case <-ctx.Done():
+		s.abandon(e)
+		return RunOutcome{}, ctx.Err()
+	}
+}
+
 // SchedulerCounters is a snapshot of the global scheduler's cumulative
-// accounting. Requested = Deduped + MemoryHits + DiskHits + Simulated
-// once every submitted run has resolved.
+// accounting. Requested = Deduped + MemoryHits + DiskHits + Simulated +
+// Cancelled + Remote once every submitted run has resolved.
 type SchedulerCounters struct {
 	Requested  uint64 // run requests submitted, including duplicates
 	Deduped    uint64 // joined an identical run already in flight
 	MemoryHits uint64 // served from the in-process memo of finished runs
 	DiskHits   uint64 // served from the persistent content-addressed cache
 	Simulated  uint64 // actually executed
+	Cancelled  uint64 // abandoned by every requester before completing
+	Remote     uint64 // delegated to a remote rmserved daemon
 }
+
+// RemoteRunner executes one wire-expressible run against a remote
+// rmserved daemon (see SetRemoteRunner).
+type RemoteRunner func(ctx context.Context, req api.RunRequest) (RunOutcome, error)
 
 type scheduler struct {
 	mu      sync.Mutex
@@ -70,6 +108,7 @@ type scheduler struct {
 	width   int // target worker-pool size; 0 = unset (NumCPU at first use)
 	workers int // live worker goroutines
 	disk    *DiskCache
+	remote  RemoteRunner
 	stats   SchedulerCounters
 }
 
@@ -98,9 +137,19 @@ func SetDiskCache(c *DiskCache) {
 	sched.mu.Unlock()
 }
 
+// SetRemoteRunner installs (or, with nil, removes) a remote executor:
+// runs whose (config, algorithm, setups) are expressible in the api wire
+// schema are delegated to it instead of simulated locally — the
+// rmexperiments -remote mode. Inexpressible runs still simulate locally.
+func SetRemoteRunner(fn RemoteRunner) {
+	sched.mu.Lock()
+	sched.remote = fn
+	sched.mu.Unlock()
+}
+
 // SchedulerStats snapshots the cumulative scheduler counters — the
-// rmexperiments end-of-run summary reads them, and tests assert dedup
-// behaviour through before/after deltas.
+// rmexperiments end-of-run summary and the daemon's /v1/stats read them,
+// and tests assert dedup behaviour through before/after deltas.
 func SchedulerStats() SchedulerCounters {
 	sched.mu.Lock()
 	defer sched.mu.Unlock()
@@ -113,10 +162,18 @@ func SchedulerStats() SchedulerCounters {
 // cfg.Telemetry must be nil: an attached recorder is a per-run side
 // effect that neither dedup nor the cache can replay.
 func ScheduledRun(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (RunOutcome, error) {
+	return ScheduledRunContext(context.Background(), cfg, alg, setups)
+}
+
+// ScheduledRunContext is ScheduledRun with cancellation: when ctx is done
+// the caller unblocks with ctx.Err(), and the underlying cell — shared
+// with any identical concurrent request — is cancelled once every
+// requester has abandoned it.
+func ScheduledRunContext(ctx context.Context, cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (RunOutcome, error) {
 	if cfg.Telemetry != nil {
 		return RunOutcome{}, fmt.Errorf("experiment: scheduled runs cannot carry a telemetry recorder")
 	}
-	return sched.submit(cfg, alg, setups).wait()
+	return sched.submit(cfg, alg, setups).waitCtx(ctx, sched)
 }
 
 // submit registers one run and returns its entry without waiting, so
@@ -131,10 +188,12 @@ func (s *scheduler) submit(cfg core.Config, alg core.Algorithm, setups []core.Ta
 			s.stats.MemoryHits++
 		} else {
 			s.stats.Deduped++
+			e.waiters++
 		}
 		return e
 	}
-	e := &runEntry{key: key, cfg: cfg, alg: alg, setups: setups, done: make(chan struct{})}
+	e := &runEntry{key: key, cfg: cfg, alg: alg, setups: setups, done: make(chan struct{}), waiters: 1}
+	e.runCtx, e.cancelRun = context.WithCancel(context.Background())
 	s.entries[key] = e
 	s.queue = append(s.queue, e)
 	if s.width == 0 {
@@ -145,6 +204,23 @@ func (s *scheduler) submit(cfg core.Config, alg core.Algorithm, setups []core.Ta
 		go s.worker()
 	}
 	return e
+}
+
+// abandon releases one requester's stake in a cell. The last live
+// requester to leave cancels the cell's execution and evicts it from the
+// memo, so a future identical request re-runs instead of joining a
+// corpse.
+func (s *scheduler) abandon(e *runEntry) {
+	s.mu.Lock()
+	e.waiters--
+	cancel := e.waiters <= 0 && !e.finished
+	if cancel && s.entries[e.key] == e {
+		delete(s.entries, e.key)
+	}
+	s.mu.Unlock()
+	if cancel {
+		e.cancelRun()
+	}
 }
 
 // worker drains the global queue FIFO. The pool is elastic: submit spawns
@@ -162,20 +238,49 @@ func (s *scheduler) worker() {
 		e := s.queue[0]
 		s.queue = s.queue[1:]
 		disk := s.disk
+		remote := s.remote
 		s.mu.Unlock()
-		s.execute(e, disk)
+		s.execute(e, disk, remote)
 	}
 }
 
-// execute resolves one entry: persistent cache first, simulation second.
-func (s *scheduler) execute(e *runEntry, disk *DiskCache) {
+// isCancel reports whether err is a context cancellation.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// execute resolves one entry: cancellation first, persistent cache
+// second, remote delegation third, local simulation last.
+func (s *scheduler) execute(e *runEntry, disk *DiskCache, remote RemoteRunner) {
+	if err := e.runCtx.Err(); err != nil {
+		s.finish(e, RunOutcome{}, err, func(c *SchedulerCounters) { c.Cancelled++ })
+		return
+	}
 	if disk != nil {
 		if out, ok := disk.Get(e.key); ok {
 			s.finish(e, out, nil, func(c *SchedulerCounters) { c.DiskHits++ })
 			return
 		}
 	}
-	out, err := simulate(e.cfg, e.alg, e.setups)
+	if remote != nil {
+		if req, ok := EncodeRunRequest(e.cfg, e.alg, e.setups); ok {
+			out, err := remote(e.runCtx, req)
+			if isCancel(err) {
+				s.finish(e, RunOutcome{}, err, func(c *SchedulerCounters) { c.Cancelled++ })
+				return
+			}
+			if err == nil && disk != nil {
+				_ = disk.Put(e.key, out)
+			}
+			s.finish(e, out, err, func(c *SchedulerCounters) { c.Remote++ })
+			return
+		}
+	}
+	out, err := simulate(e.runCtx, e.cfg, e.alg, e.setups)
+	if isCancel(err) {
+		s.finish(e, RunOutcome{}, err, func(c *SchedulerCounters) { c.Cancelled++ })
+		return
+	}
 	if err == nil && disk != nil {
 		// Best effort: a failed write only costs a future re-simulation.
 		_ = disk.Put(e.key, out)
@@ -187,14 +292,19 @@ func (s *scheduler) finish(e *runEntry, out RunOutcome, err error, count func(*S
 	s.mu.Lock()
 	e.out, e.err = out, err
 	e.finished = true
+	if isCancel(err) && s.entries[e.key] == e {
+		// Never memoize a cancellation: the next identical request must
+		// simulate, not inherit a dead waiter's context error.
+		delete(s.entries, e.key)
+	}
 	count(&s.stats)
 	s.mu.Unlock()
 	close(e.done)
 }
 
 // simulate is the single place experiment code executes core.Run.
-func simulate(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (RunOutcome, error) {
-	res, err := core.Run(cfg, alg, setups)
+func simulate(ctx context.Context, cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (RunOutcome, error) {
+	res, err := core.RunContext(ctx, cfg, alg, setups)
 	if err != nil {
 		return RunOutcome{}, err
 	}

@@ -19,6 +19,8 @@ func statsDelta(f func()) SchedulerCounters {
 		MemoryHits: after.MemoryHits - before.MemoryHits,
 		DiskHits:   after.DiskHits - before.DiskHits,
 		Simulated:  after.Simulated - before.Simulated,
+		Cancelled:  after.Cancelled - before.Cancelled,
+		Remote:     after.Remote - before.Remote,
 	}
 }
 

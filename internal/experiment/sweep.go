@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -101,6 +102,14 @@ func Sweep(points []int, factory PatternFactory, parallelism int) ([]PointResult
 // global queue up front, so independent runs fill the worker pool and
 // identical cells requested by other experiments are simulated only once.
 func SweepSeeds(points []int, factory PatternFactory, parallelism, seeds int) ([]PointResult, error) {
+	return SweepSeedsContext(context.Background(), points, factory, parallelism, seeds)
+}
+
+// SweepSeedsContext is SweepSeeds with cancellation: when ctx is done the
+// sweep unblocks with ctx.Err() and releases its stake in every cell it
+// has not yet consumed, so cells nobody else wants are cancelled instead
+// of simulating into the void. The daemon's sweep jobs run through here.
+func SweepSeedsContext(ctx context.Context, points []int, factory PatternFactory, parallelism, seeds int) ([]PointResult, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
@@ -118,6 +127,7 @@ func SweepSeeds(points []int, factory PatternFactory, parallelism, seeds int) ([
 		reps  []*runEntry
 	}
 	cells := make([]cell, 0, len(points)*len(algs))
+	var all []*runEntry // flattened submission order, for error-path release
 	for _, u := range points {
 		for _, a := range algs {
 			c := cell{units: u, alg: a, reps: make([]*runEntry, seeds)}
@@ -127,16 +137,24 @@ func SweepSeeds(points []int, factory PatternFactory, parallelism, seeds int) ([
 				cfg := core.DefaultConfig()
 				cfg.Seed = runSeed(u, a, r)
 				c.reps[r] = sched.submit(cfg, a, []core.TaskSetup{setup})
+				all = append(all, c.reps[r])
 			}
 			cells = append(cells, c)
 		}
 	}
+	waited := 0
 	results := make([]PointResult, len(cells))
 	for i, c := range cells {
 		pr := PointResult{MaxUnits: c.units, Alg: c.alg, Reps: make([]metrics.RunMetrics, seeds)}
 		for r, e := range c.reps {
-			out, err := e.wait()
+			out, err := e.waitCtx(ctx, sched)
+			waited++ // this stake is settled either way: waitCtx abandoned it on ctx expiry, or the entry finished
 			if err != nil {
+				// Release the stake in every cell this sweep will never
+				// consume, so cells nobody else wants stop running.
+				for _, rest := range all[waited:] {
+					sched.abandon(rest)
+				}
 				return nil, fmt.Errorf("experiment: point %d %s rep %d: %w", c.units, c.alg, r, err)
 			}
 			pr.Reps[r] = out.Metrics

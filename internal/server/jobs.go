@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/experiment"
+)
+
+// job is the server-side state of one submitted run or sweep. The wire
+// view (api.Job) is a snapshot; subscribers receive a fresh snapshot on
+// every state transition.
+type job struct {
+	id   string
+	kind string // "run" | "sweep"
+
+	run   api.RunRequest
+	sweep api.SweepRequest
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	runRes   *api.RunResult
+	sweepRes *api.SweepResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	subs     map[chan api.Job]struct{}
+
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{}
+}
+
+// snapshot renders the wire view under the job's lock.
+func (j *job) snapshot() api.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *job) snapshotLocked() api.Job {
+	out := api.Job{
+		SchemaVersion: api.SchemaVersion,
+		ID:            j.id,
+		Kind:          j.kind,
+		State:         j.state,
+		Error:         j.errMsg,
+		CreatedMS:     j.created.UnixMilli(),
+		Run:           j.runRes,
+		Sweep:         j.sweepRes,
+	}
+	if !j.started.IsZero() {
+		out.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		out.FinishedMS = j.finished.UnixMilli()
+	}
+	return out
+}
+
+// transition moves the job to a new state and fans the snapshot out to
+// every SSE subscriber. Terminal transitions close done and drop the
+// subscriber set — late subscribers get one final snapshot and EOF.
+func (j *job) transition(state string, mutate func(*job)) {
+	j.mu.Lock()
+	if api.TerminalState(j.state) {
+		// A cancel racing a completion: first terminal state wins.
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	if mutate != nil {
+		mutate(j)
+	}
+	snap := j.snapshotLocked()
+	subs := make([]chan api.Job, 0, len(j.subs))
+	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	terminal := api.TerminalState(state)
+	j.mu.Unlock()
+
+	for _, ch := range subs {
+		// Subscriber channels are buffered; a stalled consumer loses
+		// intermediate frames but always observes the terminal one via
+		// the done channel below.
+		select {
+		case ch <- snap:
+		default:
+		}
+	}
+	if terminal {
+		close(j.done)
+	}
+}
+
+// subscribe registers an SSE consumer; the returned cancel must be
+// called when the consumer leaves.
+func (j *job) subscribe() (<-chan api.Job, func()) {
+	ch := make(chan api.Job, 16)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan api.Job]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// execute runs the job to a terminal state. It is called on a worker
+// goroutine holding a concurrency slot.
+func (s *Server) execute(j *job) {
+	j.transition(api.JobRunning, func(j *job) { j.started = s.now() })
+	s.log.Info("job running", "job", j.id, "kind", j.kind)
+
+	var err error
+	switch j.kind {
+	case "run":
+		cfg, alg, setups, merr := experiment.MaterializeRun(j.run)
+		if merr != nil {
+			// Validation passed at submission, so this is unreachable
+			// short of a schema drift; fail the job rather than panic.
+			err = merr
+			break
+		}
+		var out experiment.RunOutcome
+		out, err = experiment.ScheduledRunContext(j.ctx, cfg, alg, setups)
+		if err == nil {
+			res := experiment.OutcomeToAPI(out)
+			j.transition(api.JobDone, func(j *job) {
+				j.runRes = &res
+				j.finished = s.now()
+			})
+		}
+	case "sweep":
+		factory, ferr := experiment.SweepFactory(j.sweep.Pattern)
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		var results []experiment.PointResult
+		results, err = experiment.SweepSeedsContext(j.ctx, j.sweep.Points, factory, s.opts.Parallelism, j.sweep.Seeds)
+		if err == nil {
+			res := experiment.SweepToAPI(results)
+			j.transition(api.JobDone, func(j *job) {
+				j.sweepRes = &res
+				j.finished = s.now()
+			})
+		}
+	default:
+		err = fmt.Errorf("server: unknown job kind %q", j.kind)
+	}
+
+	if err != nil {
+		state := api.JobFailed
+		if j.ctx.Err() != nil {
+			state = api.JobCancelled
+		}
+		s.log.Info("job finished", "job", j.id, "state", state, "error", err.Error())
+		j.transition(state, func(j *job) {
+			j.errMsg = err.Error()
+			j.finished = s.now()
+		})
+		return
+	}
+	s.log.Info("job finished", "job", j.id, "state", api.JobDone)
+}

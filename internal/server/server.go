@@ -1,0 +1,474 @@
+// Package server implements rmserved: the long-lived HTTP daemon that
+// turns the shared run scheduler (internal/experiment) into a
+// multi-tenant simulation service. Jobs submitted as api wire specs flow
+// through ScheduledRunContext / SweepSeedsContext, so identical
+// submissions dedup via single-flight and the content-addressed disk
+// cache exactly as batch experiments do; the serving layer adds the
+// production behaviors batch mode never needed — a bounded queue with
+// 429 backpressure, per-job cancellation, SSE progress streams,
+// request-scoped structured logging, and graceful drain.
+//
+// Endpoints (all under /v1, JSON in and out, errors in a uniform
+// {"error":{code,message}} envelope):
+//
+//	POST   /v1/runs             submit one simulation        → api.Job
+//	POST   /v1/sweeps           submit one figure sweep      → api.Job
+//	GET    /v1/jobs             list jobs, newest last       → []api.Job
+//	GET    /v1/jobs/{id}        job status + result          → api.Job
+//	DELETE /v1/jobs/{id}        cancel a queued/running job  → api.Job
+//	GET    /v1/jobs/{id}/events SSE stream of job snapshots
+//	GET    /v1/stats            scheduler + queue + telemetry → api.Stats
+//	GET    /v1/metrics          Prometheus text exposition
+//	GET    /v1/healthz          liveness (200 "ok", 503 when draining)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/experiment"
+	"repro/internal/telemetry"
+)
+
+// Options configures a Server. The zero value serves with NumCPU
+// workers, a 64-deep queue, and no persistent cache.
+type Options struct {
+	// Workers bounds concurrently executing jobs; ≤0 means NumCPU.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; submissions beyond it
+	// are rejected with 429. ≤0 means 64.
+	QueueDepth int
+	// Parallelism is handed to the run scheduler per sweep (simulations
+	// per sweep job); ≤0 means NumCPU.
+	Parallelism int
+	// CacheDir, when set, opens a persistent content-addressed run cache
+	// and installs it on the shared scheduler.
+	CacheDir string
+	// Logger receives request- and job-scoped structured logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// Now overrides the wall clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is the rmserved daemon: an http.Handler plus the job table and
+// worker pool behind it.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	log  *slog.Logger
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for GET /v1/jobs
+	queued int      // jobs admitted but not yet holding a worker slot
+
+	slots    chan struct{} // worker-slot semaphore
+	draining atomic.Bool
+	inflight sync.WaitGroup // every admitted, unfinished job
+
+	reg    *telemetry.Registry
+	regMu  sync.Mutex // the registry itself is unsynchronized by design
+	nextID atomic.Uint64
+	reqID  atomic.Uint64
+}
+
+// New builds a Server and installs its routes. When opts.CacheDir is
+// set the persistent cache is opened (and created) immediately so a
+// misconfigured directory fails at startup, not at the first job.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.CacheDir != "" {
+		cache, err := experiment.OpenDiskCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		experiment.SetDiskCache(cache)
+	}
+	s := &Server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		log:   opts.Logger,
+		jobs:  make(map[string]*job),
+		slots: make(chan struct{}, opts.Workers),
+		reg:   telemetry.NewRegistry(),
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) now() time.Time { return s.opts.Now() }
+
+// counter bumps a named server metric.
+func (s *Server) counter(name string, labels ...telemetry.Label) {
+	s.regMu.Lock()
+	s.reg.Counter(name, labels...).Inc()
+	s.regMu.Unlock()
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/runs", s.logged(s.handleSubmitRun))
+	s.mux.HandleFunc("POST /v1/sweeps", s.logged(s.handleSubmitSweep))
+	s.mux.HandleFunc("GET /v1/jobs", s.logged(s.handleListJobs))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.logged(s.handleGetJob))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.logged(s.handleCancelJob))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.logged(s.handleJobEvents))
+	s.mux.HandleFunc("GET /v1/stats", s.logged(s.handleStats))
+	s.mux.HandleFunc("GET /v1/metrics", s.logged(s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+}
+
+// ServeHTTP makes the Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// logged wraps a handler with request-scoped structured logging: every
+// request gets an id, and completion is logged with status and duration.
+func (s *Server) logged(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		id := s.reqID.Add(1)
+		log := s.log.With("req", id, "method", r.Method, "path", r.URL.Path)
+		log.Debug("request start")
+		h(rw, r)
+		log.Info("request done", "status", rw.status, "dur_ms", s.now().Sub(start).Milliseconds())
+	}
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE streaming works through
+// the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, api.ErrorEnvelope{Error: api.Error{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// admit reserves a queue position for a new job, enforcing drain and
+// backpressure. On success the caller owns one inflight stake.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; not accepting new jobs")
+		s.counter("rmserved_rejected_total", telemetry.Label{Key: "reason", Value: "draining"})
+		return false
+	}
+	s.mu.Lock()
+	if s.queued >= s.opts.QueueDepth {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, api.CodeQueueFull, "job queue full (%d waiting); retry later", s.opts.QueueDepth)
+		s.counter("rmserved_rejected_total", telemetry.Label{Key: "reason", Value: "queue_full"})
+		return false
+	}
+	s.queued++
+	s.mu.Unlock()
+	return true
+}
+
+// enqueue registers the job and hands it to the worker pool.
+func (s *Server) enqueue(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.counter("rmserved_jobs_submitted_total", telemetry.Label{Key: "kind", Value: j.kind})
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		// Hold a worker slot for the whole execution; cancellation while
+		// queued skips the wait so a full pool cannot delay a DELETE.
+		select {
+		case s.slots <- struct{}{}:
+		case <-j.ctx.Done():
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
+			j.transition(api.JobCancelled, func(j *job) {
+				j.errMsg = j.ctx.Err().Error()
+				j.finished = s.now()
+			})
+			s.counter("rmserved_jobs_finished_total", telemetry.Label{Key: "state", Value: api.JobCancelled})
+			return
+		}
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		defer func() { <-s.slots }()
+		s.execute(j)
+		s.counter("rmserved_jobs_finished_total", telemetry.Label{Key: "state", Value: j.snapshot().State})
+	}()
+}
+
+// newJob allocates a job shell in the queued state.
+func (s *Server) newJob(kind string) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		kind:    kind,
+		state:   api.JobQueued,
+		created: s.now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding run request: %v", err)
+		return
+	}
+	// Validate the whole spec here — including materialization — so a bad
+	// request fails synchronously with every field error, not as a failed
+	// job minutes later.
+	if _, _, _, err := experiment.MaterializeRun(req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	j := s.newJob("run")
+	j.run = req
+	s.enqueue(j)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding sweep request: %v", err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	j := s.newJob("sweep")
+	j.sweep = req
+	s.enqueue(j)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// lookup fetches a job by path id, writing the 404 envelope on miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]api.Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if api.TerminalState(j.snapshot().State) {
+		writeError(w, http.StatusConflict, api.CodeConflict, "job %s already %s", j.id, j.snapshot().State)
+		return
+	}
+	s.log.Info("job cancel requested", "job", j.id)
+	j.cancel()
+	// The queued-state fast path and the scheduler's context propagation
+	// both resolve promptly; wait for the terminal transition so the
+	// response carries the final state.
+	<-j.done
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobEvents streams job snapshots as Server-Sent Events until the
+// job reaches a terminal state or the client disconnects. Every stream
+// opens with the current snapshot, so subscribing to a finished job
+// yields exactly one frame.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	events, unsub := j.subscribe()
+	defer unsub()
+
+	emit := func(snap api.Job) bool {
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+		fl.Flush()
+		return !api.TerminalState(snap.State)
+	}
+	if !emit(j.snapshot()) {
+		return
+	}
+	for {
+		select {
+		case snap := <-events:
+			if !emit(snap) {
+				return
+			}
+		case <-j.done:
+			// Drain any buffered frames, then emit the terminal snapshot.
+			for {
+				select {
+				case snap := <-events:
+					if !emit(snap) {
+						return
+					}
+				default:
+					emit(j.snapshot())
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := api.Stats{
+		SchemaVersion: api.SchemaVersion,
+		Scheduler:     experiment.SchedulerStatsToAPI(experiment.SchedulerStats()),
+		QueueCapacity: s.opts.QueueDepth,
+		Workers:       s.opts.Workers,
+		Draining:      s.draining.Load(),
+	}
+	s.mu.Lock()
+	stats.QueueDepth = s.queued
+	for _, j := range s.jobs {
+		switch j.snapshot().State {
+		case api.JobQueued:
+			stats.Jobs.Queued++
+		case api.JobRunning:
+			stats.Jobs.Running++
+		case api.JobDone:
+			stats.Jobs.Done++
+		case api.JobFailed:
+			stats.Jobs.Failed++
+		case api.JobCancelled:
+			stats.Jobs.Cancelled++
+		}
+	}
+	s.mu.Unlock()
+	s.regMu.Lock()
+	stats.Telemetry = s.reg.Values()
+	s.regMu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Drain stops admissions and waits for every in-flight job to reach a
+// terminal state, or for ctx to expire. Queued jobs still execute — a
+// drain loses no accepted work — and status endpoints keep serving, so
+// clients can collect results while the daemon winds down.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil // already draining
+	}
+	s.log.Info("draining: admissions closed, waiting for in-flight jobs")
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.log.Info("drain complete")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}

@@ -147,6 +147,27 @@ func spliceLabel(labels, extra string) string {
 	return labels[:len(labels)-1] + "," + extra + "}"
 }
 
+// Values renders every counter and gauge as a name+labels → value map —
+// the JSON-friendly view the rmserved /v1/stats endpoint embeds.
+// Histograms are summarized to their _count; callers needing quantiles
+// use the Prometheus exposition.
+func (r *Registry) Values() map[string]float64 {
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.linears))
+	for _, c := range r.counters {
+		out[c.name+c.labels] = float64(c.n)
+	}
+	for _, g := range r.gauges {
+		out[g.name+g.labels] = g.v
+	}
+	for _, h := range r.hists {
+		out[h.name+h.labels+"_count"] = float64(h.h.Count())
+	}
+	for _, h := range r.linears {
+		out[h.name+h.labels+"_count"] = float64(h.h.Count())
+	}
+	return out
+}
+
 // WritePrometheus renders every metric in Prometheus text exposition
 // format (durations in seconds, per convention). Metric families are
 // sorted by name+labels for deterministic output; histogram buckets stay
