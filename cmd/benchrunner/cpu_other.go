@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// cpuTime is unavailable off unix; records report cpu_ns = 0 there.
+func cpuTime() time.Duration { return 0 }

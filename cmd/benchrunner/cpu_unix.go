@@ -1,0 +1,19 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative user+system CPU time. Deltas
+// across an op therefore include every goroutine — for parallel sweeps,
+// CPU well above wall time is the worker pool doing its job.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// runDiff compares a candidate snapshot against the committed baseline
+// and renders the regression report. It returns false (without error)
+// when any gated workload's best-of-N wall time regressed past the
+// threshold percentage; ungated workloads are reported but never gate.
+func runDiff(basePath, candPath string, threshold float64, reportPath string) (bool, error) {
+	base, err := readSnapshot(basePath)
+	if err != nil {
+		return false, err
+	}
+	cand, err := readSnapshot(candPath)
+	if err != nil {
+		return false, err
+	}
+
+	baseByName := make(map[string]workloadRecord, len(base.Workloads))
+	for _, w := range base.Workloads {
+		baseByName[w.Name] = w
+	}
+
+	var rep strings.Builder
+	fmt.Fprintf(&rep, "bench-diff: %s (recorded %s) vs %s (recorded %s), gate %.0f%% on wall min\n\n",
+		basePath, base.Recorded, candPath, cand.Recorded, threshold)
+	fmt.Fprintf(&rep, "%-20s %6s  %14s  %14s  %8s  %10s  %s\n",
+		"workload", "gate", "baseline min", "candidate min", "delta", "pprof ovh", "verdict")
+
+	pass := true
+	for _, c := range cand.Workloads {
+		gate := "-"
+		if c.Gated {
+			gate = "gated"
+		}
+		overhead := "n/a"
+		if c.ProfilerOverheadPct != nil {
+			overhead = fmt.Sprintf("%+.1f%%", *c.ProfilerOverheadPct)
+		}
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Fprintf(&rep, "%-20s %6s  %14s  %14v  %8s  %10s  %s\n",
+				c.Name, gate, "-", time.Duration(c.WallMinNs), "-", overhead, "new (no baseline)")
+			continue
+		}
+		delete(baseByName, c.Name)
+		delta := float64(c.WallMinNs-b.WallMinNs) / float64(b.WallMinNs) * 100
+		verdict := "info"
+		if c.Gated {
+			if delta > threshold {
+				verdict = "FAIL"
+				pass = false
+			} else {
+				verdict = "ok"
+			}
+		}
+		fmt.Fprintf(&rep, "%-20s %6s  %14v  %14v  %+7.1f%%  %10s  %s\n",
+			c.Name, gate, time.Duration(b.WallMinNs), time.Duration(c.WallMinNs), delta, overhead, verdict)
+	}
+	for name := range baseByName {
+		fmt.Fprintf(&rep, "%-20s %6s  workload present in baseline but missing from candidate\n", name, "?")
+	}
+	if pass {
+		rep.WriteString("\nresult: PASS — no gated workload regressed past the threshold\n")
+	} else {
+		fmt.Fprintf(&rep, "\nresult: FAIL — gated workload(s) regressed more than %.0f%% on wall min\n", threshold)
+	}
+
+	fmt.Print(rep.String())
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, []byte(rep.String()), 0o644); err != nil {
+			return false, err
+		}
+	}
+	return pass, nil
+}
+
+func readSnapshot(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != snapshotSchema {
+		return snapshot{}, fmt.Errorf("%s: schema %q unsupported (want %q)", path, s.Schema, snapshotSchema)
+	}
+	if len(s.Workloads) == 0 {
+		return snapshot{}, fmt.Errorf("%s: snapshot holds no workloads", path)
+	}
+	return s, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnap marshals a synthetic snapshot for diff-gate tests.
+func writeSnap(t *testing.T, dir, name string, workloads []workloadRecord) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(snapshot{Schema: snapshotSchema, Recorded: "test", Iterations: 1, Workloads: workloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffGate pins the gate semantics: only gated workloads past the
+// threshold fail, ungated regressions and new workloads are
+// informational, and the report records the profiler overhead.
+func TestDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	overhead := 12.5
+	base := writeSnap(t, dir, "base.json", []workloadRecord{
+		{Name: "gated-ok", Gated: true, WallMinNs: 1000},
+		{Name: "gated-bad", Gated: true, WallMinNs: 1000},
+		{Name: "free", Gated: false, WallMinNs: 1000},
+	})
+	cand := writeSnap(t, dir, "cand.json", []workloadRecord{
+		{Name: "gated-ok", Gated: true, WallMinNs: 1050},  // +5%: within gate
+		{Name: "gated-bad", Gated: true, WallMinNs: 1300}, // +30%: regression
+		{Name: "free", Gated: false, WallMinNs: 9000},     // ungated: info only
+		{Name: "brand-new", Gated: true, WallMinNs: 7, ProfilerOverheadPct: &overhead},
+	})
+
+	report := filepath.Join(dir, "report.txt")
+	pass, err := runDiff(base, cand, 10, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Fatal("a +30% gated regression must fail the 10% gate")
+	}
+	text, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gated-bad", "FAIL", "new (no baseline)", "+12.5%", "result: FAIL"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("report lacks %q:\n%s", want, text)
+		}
+	}
+
+	// The same candidate passes once the threshold tolerates +30%.
+	pass, err = runDiff(base, cand, 35, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Fatal("+30% must pass a 35% gate")
+	}
+}
+
+// TestReadSnapshotValidation pins schema and emptiness checks.
+func TestReadSnapshotValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := readSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"benchrunner/v999","workloads":[{"name":"x"}]}`), 0o644)
+	if _, err := readSnapshot(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema must be rejected, got %v", err)
+	}
+	empty := writeSnap(t, dir, "empty.json", nil)
+	if _, err := readSnapshot(empty); err == nil {
+		t.Error("snapshot with no workloads must be rejected")
+	}
+}

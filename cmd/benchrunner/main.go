@@ -1,0 +1,69 @@
+// Command benchrunner is the continuous perf harness: it executes named
+// wall-clock workloads end to end — the Table 1 canary run, the fig9-13
+// sweep suite cold and warm, the chaos experiment, and an in-process
+// rmserved round-trip — recording per-op wall, CPU, and allocation
+// figures plus the overhead of running the same workload under pprof
+// CPU+heap profiling, and writes the snapshot to BENCH_3.json.
+//
+// Usage:
+//
+//	benchrunner -out BENCH_3.json            # record (default mode)
+//	benchrunner -iterations 3 -workloads table1-canary,ext-chaos
+//	benchrunner -diff -baseline BENCH_3.json -candidate new.json \
+//	    -threshold 10 -report bench-diff-report.txt
+//
+// In -diff mode the candidate's gated workloads are compared against the
+// baseline's on best-of-N wall time (min is the noise-robust statistic:
+// a machine can only add latency, never remove work) and the exit status
+// is non-zero if any gated workload regressed past the threshold. The
+// Makefile wraps both modes as bench-record and bench-diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		diff       = flag.Bool("diff", false, "compare -candidate against -baseline instead of recording")
+		out        = flag.String("out", "BENCH_3.json", "record mode: output snapshot path")
+		iterations = flag.Int("iterations", 10, "record mode: timed ops per workload (plus one untimed warm-up)")
+		only       = flag.String("workloads", "", "record mode: comma-separated workload names (default: all)")
+		noProfile  = flag.Bool("no-profile", false, "record mode: skip the profiled re-run (overhead reported as null)")
+		baseline   = flag.String("baseline", "BENCH_3.json", "diff mode: committed snapshot to compare against")
+		candidate  = flag.String("candidate", "", "diff mode: freshly recorded snapshot")
+		threshold  = flag.Float64("threshold", 10, "diff mode: max tolerated wall-time regression on gated workloads, percent")
+		report     = flag.String("report", "", "diff mode: also write the report to this file")
+	)
+	flag.Parse()
+
+	if *diff {
+		if *candidate == "" {
+			fatal(fmt.Errorf("-diff requires -candidate"))
+		}
+		ok, err := runDiff(*baseline, *candidate, *threshold, *report)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	if err := runRecord(*out, names, *iterations, !*noProfile); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	os.Exit(1)
+}

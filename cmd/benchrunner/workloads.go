@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// bench is one named end-to-end workload. prep runs once (untimed) and
+// returns the op the harness times plus an optional cleanup; preOp runs
+// untimed before every op — it is where cold-cache workloads forget the
+// scheduler memo, so the timed region measures the work, not the reset.
+type bench struct {
+	name  string
+	gated bool
+	desc  string
+	// reps batches this many op executions inside one timed window and
+	// reports per-rep figures — microsecond-scale ops are unmeasurable
+	// one at a time (clock granularity and GC pauses swamp the signal).
+	// 0 means 1.
+	reps  int
+	preOp func()
+	prep  func() (op func() error, cleanup func(), err error)
+}
+
+// figSuiteIDs is the sweep suite shared by the cold and warm workloads:
+// the five evaluation figures that dominate rmexperiments wall time.
+var figSuiteIDs = []string{"fig9", "fig10", "fig11", "fig12", "fig13"}
+
+// figSuiteOp renders the whole suite (quick sweeps) to io.Discard, so
+// the op covers simulation, scheduling, and table/chart rendering.
+func figSuiteOp() func() error {
+	ctx := experiment.Context{Quick: true}
+	return func() error {
+		for _, id := range figSuiteIDs {
+			e, err := experiment.ByID(id)
+			if err != nil {
+				return err
+			}
+			out, err := e.Run(ctx)
+			if err != nil {
+				return err
+			}
+			if err := out.Render(io.Discard); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// benches returns every named workload in execution order. The rmserved
+// round-trip goes last: server.New installs its wall-clock observer on
+// the process-global scheduler, and running it last keeps the other
+// workloads' scheduler hot path observer-free (the shipped default).
+func benches() []bench {
+	return []bench{
+		{
+			name:  "table1-canary",
+			gated: true,
+			desc:  "one Table 1 baseline run (constant workload 500, 2 periods) through core.Run",
+			reps:  200, // ~8µs per run; batch to a ~2ms timed window
+			prep: func() (func() error, func(), error) {
+				setup, err := experiment.BenchmarkSetup(workload.NewConstant(500, 2))
+				if err != nil {
+					return nil, nil, err
+				}
+				cfg := core.DefaultConfig()
+				setups := []core.TaskSetup{setup}
+				return func() error {
+					_, err := core.Run(cfg, core.Predictive, setups)
+					return err
+				}, nil, nil
+			},
+		},
+		{
+			name:  "fig9-13-cold",
+			gated: true,
+			desc:  "fig9-fig13 quick sweep suite with a cold scheduler memo per op",
+			preOp: experiment.ResetSweepCache,
+			prep: func() (func() error, func(), error) {
+				return figSuiteOp(), nil, nil
+			},
+		},
+		{
+			name:  "fig9-13-warm",
+			gated: false, // sub-millisecond memo replay; too noisy to gate
+			desc:  "fig9-fig13 quick sweep suite served entirely from the warm memo",
+			prep: func() (func() error, func(), error) {
+				return figSuiteOp(), nil, nil
+			},
+		},
+		{
+			name:  "ext-chaos",
+			gated: true,
+			desc:  "fault-intensity sweep (quick) with a cold scheduler memo per op",
+			preOp: experiment.ResetSweepCache,
+			prep: func() (func() error, func(), error) {
+				e, err := experiment.ByID("ext-chaos")
+				if err != nil {
+					return nil, nil, err
+				}
+				ctx := experiment.Context{Quick: true}
+				return func() error {
+					out, err := e.Run(ctx)
+					if err != nil {
+						return err
+					}
+					return out.Render(io.Discard)
+				}, nil, nil
+			},
+		},
+		{
+			name:  "rmserved-roundtrip",
+			gated: false, // dominated by HTTP+poll latency; informational
+			desc:  "submit + wait of one memoized run against an in-process rmserved over real HTTP",
+			prep: func() (func() error, func(), error) {
+				quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+				srv, err := server.New(server.Options{Logger: quiet})
+				if err != nil {
+					return nil, nil, err
+				}
+				ts := httptest.NewServer(srv)
+				cl := client.New(ts.URL)
+				cl.PollInterval = 2 * time.Millisecond
+				seed := uint64(0xbe9c)
+				req := api.RunRequest{
+					SchemaVersion: api.SchemaVersion,
+					Algorithm:     api.AlgPredictive,
+					Seed:          &seed,
+					Task: api.TaskSpec{
+						Pattern: api.Pattern{Kind: api.PatternCustom, Label: "benchrunner", Values: []int{500, 900, 1300, 900, 500}},
+					},
+				}
+				op := func() error {
+					j, err := cl.SubmitRun(context.Background(), req)
+					if err != nil {
+						return err
+					}
+					done, err := cl.Wait(context.Background(), j.ID)
+					if err != nil {
+						return err
+					}
+					if done.State != api.JobDone {
+						return fmt.Errorf("round-trip job ended %q", done.State)
+					}
+					return nil
+				}
+				cleanup := func() {
+					ts.Close()
+					// server.New hooked its metrics into the global
+					// scheduler; detach so later runs stay unobserved.
+					experiment.SetWallObserver(nil)
+				}
+				return op, cleanup, nil
+			},
+		},
+	}
+}
+
+// selectBenches resolves a -workloads filter, preserving execution order.
+func selectBenches(names []string) ([]bench, error) {
+	all := benches()
+	if len(names) == 0 {
+		return all, nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var picked []bench
+	for _, b := range all {
+		if want[b.name] {
+			picked = append(picked, b)
+			delete(want, b.name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("unknown workload %q (see benches() in cmd/benchrunner)", n)
+	}
+	return picked, nil
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cliflag"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,13 +40,24 @@ func main() {
 		parallel = cliflag.Parallel(flag.CommandLine)
 		seeds    = cliflag.Seeds(flag.CommandLine)
 		cacheDir = cliflag.CacheDir(flag.CommandLine)
-		remote   = flag.String("remote", "", "rmserved base URL; wire-expressible runs are delegated to the daemon instead of simulated locally")
-		checkDet = flag.Bool("check-determinism", false, "run each experiment twice (serial, then parallel with a cold cache) and fail unless the outputs are byte-identical")
+		remote    = flag.String("remote", "", "rmserved base URL; wire-expressible runs are delegated to the daemon instead of simulated locally")
+		checkDet  = flag.Bool("check-determinism", false, "run each experiment twice (serial, then parallel with a cold cache) and fail unless the outputs are byte-identical")
+		logFormat = cliflag.LogFormat(flag.CommandLine)
 	)
 	flag.Parse()
 
+	// Diagnostics go to the structured logger on stderr; stdout carries
+	// only the rendered tables, figures, and the scheduler summary, so
+	// piping results stays clean.
+	log, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(log)
+
 	if *remote != "" {
 		cl := client.New(*remote)
+		cl.Logger = log
 		experiment.SetRemoteRunner(func(ctx context.Context, req api.RunRequest) (experiment.RunOutcome, error) {
 			res, err := cl.RunSync(ctx, req)
 			if err != nil {
@@ -52,7 +65,7 @@ func main() {
 			}
 			return experiment.OutcomeFromAPI(res), nil
 		})
-		fmt.Printf("remote mode: delegating wire-expressible runs to %s\n", *remote)
+		log.Info("remote mode: delegating wire-expressible runs", "daemon", *remote)
 	}
 
 	if *cacheDir != "" && !*checkDet {
@@ -66,7 +79,7 @@ func main() {
 		// A determinism audit must re-execute every simulation; serving
 		// runs from the persistent cache would compare the cache with
 		// itself, so the cache is bypassed for the audit.
-		fmt.Println("note: -check-determinism bypasses -cache-dir (the audit must re-simulate)")
+		log.Info("-check-determinism bypasses -cache-dir (the audit must re-simulate)")
 	}
 
 	if *list {

@@ -8,9 +8,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/cliflag"
+	"repro/internal/obs"
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
@@ -20,10 +22,18 @@ import (
 
 func main() {
 	var (
-		seed = cliflag.Seed(flag.CommandLine, 11)
-		reps = flag.Int("reps", 3, "measurements per grid point")
+		seed   = cliflag.Seed(flag.CommandLine, 11)
+		reps   = flag.Int("reps", 3, "measurements per grid point")
+		logFmt = cliflag.LogFormat(flag.CommandLine)
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFmt, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmprofile:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 
 	spec := dynbench.NewTask(dynbench.DefaultConfig())
 	grid := profile.DefaultExecGrid()

@@ -10,6 +10,12 @@
 //	rmserved -addr 127.0.0.1:0      # pick a free port (printed on stdout)
 //	rmserved -workers 4 -queue 128  # bound concurrency and backpressure
 //	rmserved -cache-dir .rmcache    # persistent cross-restart run cache
+//	rmserved -log-format json       # structured logs for a collector
+//	rmserved -pprof                 # mount /debug/pprof/* (opt-in)
+//
+// Operational endpoints: /healthz (liveness), /readyz (readiness; 503
+// the instant a drain begins), /v1/metrics (Prometheus wall-clock
+// request/queue/scheduler metrics), and — with -pprof — /debug/pprof/*.
 //
 // Submit with curl (see README §Serving) or the internal/client package.
 // SIGTERM/SIGINT drains: admissions close with 503, in-flight and queued
@@ -30,17 +36,20 @@ import (
 	"time"
 
 	"repro/internal/cliflag"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr     = cliflag.Addr(flag.CommandLine, ":8080")
-		parallel = cliflag.Parallel(flag.CommandLine)
-		cacheDir = cliflag.CacheDir(flag.CommandLine)
-		workers  = flag.Int("workers", 0, "max concurrently executing jobs (0 = NumCPU)")
-		queue    = flag.Int("queue", 64, "max jobs waiting for a worker before submissions get 429")
-		verbose  = flag.Bool("v", false, "log at debug level (per-request start lines)")
+		addr      = cliflag.Addr(flag.CommandLine, ":8080")
+		parallel  = cliflag.Parallel(flag.CommandLine)
+		cacheDir  = cliflag.CacheDir(flag.CommandLine)
+		logFormat = cliflag.LogFormat(flag.CommandLine)
+		workers   = flag.Int("workers", 0, "max concurrently executing jobs (0 = NumCPU)")
+		queue     = flag.Int("queue", 64, "max jobs waiting for a worker before submissions get 429")
+		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes runtime internals)")
+		verbose   = flag.Bool("v", false, "log at debug level (per-request start lines)")
 	)
 	flag.Parse()
 
@@ -48,7 +57,11 @@ func main() {
 	if *verbose {
 		level = slog.LevelDebug
 	}
-	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	log, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(log)
 
 	srv, err := server.New(server.Options{
 		Workers:     *workers,
@@ -56,9 +69,13 @@ func main() {
 		Parallelism: *parallel,
 		CacheDir:    *cacheDir,
 		Logger:      log,
+		EnablePprof: *pprofFlag,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *pprofFlag {
+		log.Info("pprof profiling endpoints enabled", "path", "/debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)

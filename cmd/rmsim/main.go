@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/cliflag"
+	"repro/internal/obs"
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
@@ -53,10 +55,19 @@ func main() {
 		mtbf     = flag.Duration("mtbf", 0, "stochastic node crashes: mean time between failures per node (enables the hardened manager)")
 		mttr     = flag.Duration("mttr", 8*time.Second, "mean time to repair for -mtbf crashes")
 		drop     = flag.Float64("drop", 0, "per-message drop probability on the shared segment, 0 ≤ p < 1 (enables the hardened manager)")
+		logFmt   = cliflag.LogFormat(flag.CommandLine)
 	)
 	var fails faultList
 	flag.Var(&fails, "fail", "inject a crash: node@at or node@at+duration, e.g. -fail 2@10.2s+15s (repeatable; omitted duration = permanent)")
 	flag.Parse()
+
+	// Simulation results print to stdout; diagnostics use the shared
+	// structured logger on stderr like every other binary.
+	logger, logErr := obs.NewLogger(os.Stderr, *logFmt, slog.LevelInfo)
+	if logErr != nil {
+		fatal(logErr)
+	}
+	slog.SetDefault(logger)
 
 	alg := core.Algorithm(*algFlag)
 	if !core.ValidAlgorithm(alg) {

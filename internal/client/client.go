@@ -1,6 +1,7 @@
 // Package client is the Go client for the rmserved daemon's v1 API. It
-// depends only on the api wire schema — a client binary does not link the
-// simulation engine — and mirrors the endpoint surface one-to-one:
+// depends only on the api wire schema and the obs correlation layer — a
+// client binary never *runs* the simulation engine — and mirrors the
+// endpoint surface one-to-one:
 // SubmitRun/SubmitSweep, Job/Jobs/Cancel, Events (SSE), Stats, plus the
 // Wait and RunSync conveniences that block until a job settles.
 package client
@@ -12,11 +13,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 )
 
 // Client talks to one rmserved base URL (e.g. "http://127.0.0.1:8080").
@@ -26,6 +29,9 @@ type Client struct {
 	// PollInterval paces the polling fallback in Wait when the SSE stream
 	// is unavailable. Zero means 100ms.
 	PollInterval time.Duration
+	// Logger, when set, logs every request at debug level with its
+	// correlation ID, status, and wall-clock duration.
+	Logger *slog.Logger
 }
 
 // New builds a client for the given base URL using http.DefaultClient.
@@ -51,6 +57,32 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("rmserved: %s (http %d, code %s)", e.Message, e.Status, e.Code)
 }
 
+// requestID picks the correlation ID for one outgoing request: the one
+// already in ctx (a caller correlating several calls) or a fresh one.
+// The ID travels as X-Request-Id, and the daemon logs it on its side, so
+// one grep joins client and server views of the same request.
+func requestID(ctx context.Context) string {
+	if id := obs.RequestID(ctx); id != "" {
+		return id
+	}
+	return obs.NewRequestID()
+}
+
+// logRequest emits the client-side completion line when a logger is set.
+func (c *Client) logRequest(id, method, path string, status int, start time.Time, err error) {
+	if c.Logger == nil {
+		return
+	}
+	attrs := []any{"req", id, "method", method, "path", path, "dur_ms", time.Since(start).Milliseconds()}
+	if status != 0 {
+		attrs = append(attrs, "status", status)
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	c.Logger.Debug("rmserved request", attrs...)
+}
+
 // do performs one JSON request/response exchange.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
@@ -68,11 +100,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	id := requestID(ctx)
+	req.Header.Set(obs.RequestIDHeader, id)
+	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.logRequest(id, method, path, 0, start, err)
 		return err
 	}
 	defer resp.Body.Close()
+	c.logRequest(id, method, path, resp.StatusCode, start, nil)
 	if resp.StatusCode/100 != 2 {
 		return decodeError(resp)
 	}
@@ -151,6 +188,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(api.Job)) (api.J
 		return api.Job{}, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set(obs.RequestIDHeader, requestID(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return api.Job{}, err

@@ -36,3 +36,9 @@ func Seeds(fs *flag.FlagSet) *int {
 func Addr(fs *flag.FlagSet, def string) *string {
 	return fs.String("addr", def, "listen address (host:port; :0 picks a free port)")
 }
+
+// LogFormat registers -log-format: the structured-log output format
+// shared by every binary (obs.NewLogger validates the value).
+func LogFormat(fs *flag.FlagSet) *string {
+	return fs.String("log-format", "text", "structured log format: text | json")
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
@@ -55,6 +56,11 @@ type runEntry struct {
 	runCtx    context.Context
 	cancelRun context.CancelFunc
 
+	// enqueuedAt is the wall-clock admission time; set only while a
+	// WallObserver is installed (the zero value suppresses wait
+	// reporting), so observability off means zero clock reads per run.
+	enqueuedAt time.Time
+
 	done     chan struct{}
 	out      RunOutcome
 	err      error
@@ -101,15 +107,36 @@ type SchedulerCounters struct {
 // rmserved daemon (see SetRemoteRunner).
 type RemoteRunner func(ctx context.Context, req api.RunRequest) (RunOutcome, error)
 
+// WallObserver receives wall-clock timings of scheduler activity — the
+// serving path's view of the queue, entirely outside simulated time.
+// Implementations must be safe for concurrent use (workers call them in
+// parallel) and cheap: they run on the worker's critical path.
+// obs.Metrics satisfies this interface.
+type WallObserver interface {
+	// CellQueued fires when a new run cell is admitted to the queue.
+	CellQueued()
+	// CellStarted fires when a worker picks the cell up, with the time it
+	// spent waiting in the queue.
+	CellStarted(wait time.Duration)
+	// CellFinished fires when the cell resolves, with how it resolved
+	// ("simulated", "disk_hit", "remote", "cancelled", "error") and the
+	// wall-clock execution time.
+	CellFinished(outcome string, run time.Duration)
+	// DiskHit fires for each persistent-cache read that returned an
+	// outcome, with the read's wall-clock latency.
+	DiskHit(d time.Duration)
+}
+
 type scheduler struct {
-	mu      sync.Mutex
-	queue   []*runEntry
-	entries map[string]*runEntry
-	width   int // target worker-pool size; 0 = unset (NumCPU at first use)
-	workers int // live worker goroutines
-	disk    *DiskCache
-	remote  RemoteRunner
-	stats   SchedulerCounters
+	mu       sync.Mutex
+	queue    []*runEntry
+	entries  map[string]*runEntry
+	width    int // target worker-pool size; 0 = unset (NumCPU at first use)
+	workers  int // live worker goroutines
+	disk     *DiskCache
+	remote   RemoteRunner
+	observer WallObserver
+	stats    SchedulerCounters
 }
 
 // sched is the process-wide scheduler every experiment shares.
@@ -134,6 +161,16 @@ func SetParallelism(n int) {
 func SetDiskCache(c *DiskCache) {
 	sched.mu.Lock()
 	sched.disk = c
+	sched.mu.Unlock()
+}
+
+// SetWallObserver installs (or, with nil, removes) the wall-clock
+// observer the scheduler reports queue/run timings to. Like the disk
+// cache and remote runner, it is process-global: the scheduler is one
+// shared pool, so its observability is too.
+func SetWallObserver(o WallObserver) {
+	sched.mu.Lock()
+	sched.observer = o
 	sched.mu.Unlock()
 }
 
@@ -194,6 +231,10 @@ func (s *scheduler) submit(cfg core.Config, alg core.Algorithm, setups []core.Ta
 	}
 	e := &runEntry{key: key, cfg: cfg, alg: alg, setups: setups, done: make(chan struct{}), waiters: 1}
 	e.runCtx, e.cancelRun = context.WithCancel(context.Background())
+	if s.observer != nil {
+		e.enqueuedAt = time.Now()
+		s.observer.CellQueued()
+	}
 	s.entries[key] = e
 	s.queue = append(s.queue, e)
 	if s.width == 0 {
@@ -239,8 +280,9 @@ func (s *scheduler) worker() {
 		s.queue = s.queue[1:]
 		disk := s.disk
 		remote := s.remote
+		observer := s.observer
 		s.mu.Unlock()
-		s.execute(e, disk, remote)
+		s.execute(e, disk, remote, observer)
 	}
 }
 
@@ -249,16 +291,38 @@ func isCancel(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// Cell outcome kinds, as reported to the WallObserver and mapped onto
+// SchedulerCounters by finish.
+const (
+	cellSimulated = "simulated"
+	cellDiskHit   = "disk_hit"
+	cellRemote    = "remote"
+	cellCancelled = "cancelled"
+	cellError     = "error"
+)
+
 // execute resolves one entry: cancellation first, persistent cache
-// second, remote delegation third, local simulation last.
-func (s *scheduler) execute(e *runEntry, disk *DiskCache, remote RemoteRunner) {
+// second, remote delegation third, local simulation last. observer, when
+// non-nil, receives the cell's wall-clock wait and run timings.
+func (s *scheduler) execute(e *runEntry, disk *DiskCache, remote RemoteRunner, observer WallObserver) {
+	var started time.Time
+	if observer != nil {
+		started = time.Now()
+		if !e.enqueuedAt.IsZero() {
+			observer.CellStarted(started.Sub(e.enqueuedAt))
+		}
+	}
 	if err := e.runCtx.Err(); err != nil {
-		s.finish(e, RunOutcome{}, err, func(c *SchedulerCounters) { c.Cancelled++ })
+		s.finish(e, RunOutcome{}, err, cellCancelled, observer, started)
 		return
 	}
 	if disk != nil {
-		if out, ok := disk.Get(e.key); ok {
-			s.finish(e, out, nil, func(c *SchedulerCounters) { c.DiskHits++ })
+		out, ok := disk.Get(e.key)
+		if ok {
+			if observer != nil {
+				observer.DiskHit(time.Since(started))
+			}
+			s.finish(e, out, nil, cellDiskHit, observer, started)
 			return
 		}
 	}
@@ -266,29 +330,29 @@ func (s *scheduler) execute(e *runEntry, disk *DiskCache, remote RemoteRunner) {
 		if req, ok := EncodeRunRequest(e.cfg, e.alg, e.setups); ok {
 			out, err := remote(e.runCtx, req)
 			if isCancel(err) {
-				s.finish(e, RunOutcome{}, err, func(c *SchedulerCounters) { c.Cancelled++ })
+				s.finish(e, RunOutcome{}, err, cellCancelled, observer, started)
 				return
 			}
 			if err == nil && disk != nil {
 				_ = disk.Put(e.key, out)
 			}
-			s.finish(e, out, err, func(c *SchedulerCounters) { c.Remote++ })
+			s.finish(e, out, err, cellRemote, observer, started)
 			return
 		}
 	}
 	out, err := simulate(e.runCtx, e.cfg, e.alg, e.setups)
 	if isCancel(err) {
-		s.finish(e, RunOutcome{}, err, func(c *SchedulerCounters) { c.Cancelled++ })
+		s.finish(e, RunOutcome{}, err, cellCancelled, observer, started)
 		return
 	}
 	if err == nil && disk != nil {
 		// Best effort: a failed write only costs a future re-simulation.
 		_ = disk.Put(e.key, out)
 	}
-	s.finish(e, out, err, func(c *SchedulerCounters) { c.Simulated++ })
+	s.finish(e, out, err, cellSimulated, observer, started)
 }
 
-func (s *scheduler) finish(e *runEntry, out RunOutcome, err error, count func(*SchedulerCounters)) {
+func (s *scheduler) finish(e *runEntry, out RunOutcome, err error, kind string, observer WallObserver, started time.Time) {
 	s.mu.Lock()
 	e.out, e.err = out, err
 	e.finished = true
@@ -297,8 +361,25 @@ func (s *scheduler) finish(e *runEntry, out RunOutcome, err error, count func(*S
 		// simulate, not inherit a dead waiter's context error.
 		delete(s.entries, e.key)
 	}
-	count(&s.stats)
+	switch kind {
+	case cellCancelled:
+		s.stats.Cancelled++
+	case cellDiskHit:
+		s.stats.DiskHits++
+	case cellRemote:
+		s.stats.Remote++
+	default:
+		s.stats.Simulated++
+	}
 	s.mu.Unlock()
+	if observer != nil {
+		// The observer sees failures as their own outcome; the counters
+		// keep attributing them to the path that produced them.
+		if err != nil && !isCancel(err) {
+			kind = cellError
+		}
+		observer.CellFinished(kind, time.Since(started))
+	}
 	close(e.done)
 }
 

@@ -1,0 +1,109 @@
+// Package obs is the wall-clock observability layer: structured logging
+// with request/job correlation IDs, and concurrency-safe runtime metrics
+// for the serving path. It is the real-time counterpart of
+// internal/telemetry — telemetry measures the *simulated* world (spans,
+// latencies, forecast error in virtual nanoseconds); obs measures the
+// *process serving it* (HTTP request latency, queue depth, scheduler
+// cell wait, disk-cache hit time, all in wall-clock time). The two never
+// mix: a simulation result is a pure function of its config and seed, so
+// nothing in this package may influence — or appear inside — simulation
+// output. With no logger installed and no Metrics attached, the serving
+// path behaves exactly as before.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header carrying a request correlation ID.
+// The client sends one with every call; the server honours an incoming
+// value (so daemon logs correlate with client logs) or mints its own,
+// and always echoes the final ID on the response.
+const RequestIDHeader = "X-Request-Id"
+
+// procID distinguishes processes in aggregated logs: request IDs are
+// "r-<proc>-<seq>", so two daemons behind one collector never collide.
+var procID = func() string {
+	var b [3]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var reqSeq atomic.Uint64
+
+// NewRequestID mints a process-unique request correlation ID.
+func NewRequestID() string {
+	return fmt.Sprintf("r-%s-%d", procID, reqSeq.Add(1))
+}
+
+// LogFormats documents the accepted -log-format values.
+const LogFormats = "text | json"
+
+// NewLogger builds a structured logger writing to w in the given format
+// ("text" for human-readable key=value lines, "json" for one JSON object
+// per line — the shape log collectors ingest).
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s)", format, LogFormats)
+	}
+}
+
+// ctxKey keys obs values in a context; distinct types prevent collisions
+// with other packages' context values.
+type ctxKey int
+
+const (
+	reqIDKey ctxKey = iota
+	jobIDKey
+)
+
+// WithRequestID returns a context carrying the request correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey, id)
+}
+
+// RequestID extracts the request correlation ID, or "" when absent.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey).(string)
+	return id
+}
+
+// WithJobID returns a context carrying the job correlation ID, so work
+// executed on behalf of a job (scheduler cells, remote delegation) can
+// be tied back to the submission that caused it.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey, id)
+}
+
+// JobID extracts the job correlation ID, or "" when absent.
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey).(string)
+	return id
+}
+
+// ContextAttrs renders the correlation IDs present in ctx as slog
+// attributes, in a fixed order, for request- or job-scoped log lines.
+func ContextAttrs(ctx context.Context) []any {
+	var attrs []any
+	if id := RequestID(ctx); id != "" {
+		attrs = append(attrs, slog.String("req", id))
+	}
+	if id := JobID(ctx); id != "" {
+		attrs = append(attrs, slog.String("job", id))
+	}
+	return attrs
+}

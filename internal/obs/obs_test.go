@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var text strings.Builder
+	log, err := NewLogger(&text, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	if !strings.Contains(text.String(), "msg=hello") || !strings.Contains(text.String(), "k=v") {
+		t.Fatalf("text handler output %q lacks key=value rendering", text.String())
+	}
+
+	var jsonBuf strings.Builder
+	log, err = NewLogger(&jsonBuf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &rec); err != nil {
+		t.Fatalf("json handler emitted invalid JSON %q: %v", jsonBuf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("json record = %v, want msg=hello k=v", rec)
+	}
+
+	// The empty format defaults to text (binaries pass the flag through
+	// verbatim), anything else is a hard error at flag-parse time.
+	if _, err := NewLogger(&text, "", slog.LevelInfo); err != nil {
+		t.Fatalf("empty format should default to text, got %v", err)
+	}
+	if _, err := NewLogger(&text, "yaml", slog.LevelInfo); err == nil {
+		t.Fatal("format yaml should be rejected")
+	}
+}
+
+func TestRequestIDsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+		if !strings.HasPrefix(id, "r-") {
+			t.Fatalf("request id %q lacks r- prefix", id)
+		}
+	}
+}
+
+func TestContextCorrelation(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || JobID(ctx) != "" {
+		t.Fatal("empty context should carry no IDs")
+	}
+	ctx = WithRequestID(ctx, "r-1")
+	ctx = WithJobID(ctx, "job-7")
+	if RequestID(ctx) != "r-1" || JobID(ctx) != "job-7" {
+		t.Fatalf("round trip lost IDs: req=%q job=%q", RequestID(ctx), JobID(ctx))
+	}
+	attrs := ContextAttrs(ctx)
+	if len(attrs) != 2 {
+		t.Fatalf("ContextAttrs = %v, want [req job]", attrs)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveHTTP("GET /v1/jobs/{id}", 200, 5*time.Millisecond)
+	m.ObserveHTTP("GET /v1/jobs/{id}", 404, time.Millisecond)
+	m.SetQueueDepth(3)
+	m.AddInFlight(2)
+	m.AddInFlight(-1)
+	m.AddSSESubscribers(1)
+	m.CellQueued()
+	m.CellStarted(2 * time.Millisecond)
+	m.CellFinished("simulated", 10*time.Millisecond)
+	m.DiskHit(300 * time.Microsecond)
+
+	vals := m.Values()
+	check := func(name string, want float64) {
+		t.Helper()
+		if got := vals[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check(`obs_http_requests_total{route="GET /v1/jobs/{id}",status="2xx"}`, 1)
+	check(`obs_http_requests_total{route="GET /v1/jobs/{id}",status="4xx"}`, 1)
+	check("obs_queue_depth", 3)
+	check("obs_jobs_in_flight", 1)
+	check("obs_sse_subscribers", 1)
+	check("obs_sched_cells_queued_total", 1)
+	check(`obs_sched_cells_finished_total{outcome="simulated"}`, 1)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`obs_http_request_duration_seconds_count{route="GET /v1/jobs/{id}",status="2xx"} 1`,
+		"obs_sched_cell_wait_seconds_count 1",
+		`obs_sched_cell_run_seconds_count{outcome="simulated"} 1`,
+		"obs_disk_cache_hit_seconds_count 1",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}
+
+// TestMetricsNilSafe pins the zero-overhead contract: every method on a
+// nil *Metrics is a no-op, so un-instrumented paths need no guards.
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.ObserveHTTP("x", 200, time.Millisecond)
+	m.SetQueueDepth(1)
+	m.AddInFlight(1)
+	m.AddSSESubscribers(1)
+	m.Inc("x")
+	m.CellQueued()
+	m.CellStarted(time.Millisecond)
+	m.CellFinished("simulated", time.Millisecond)
+	m.DiskHit(time.Millisecond)
+	if m.Values() != nil {
+		t.Fatal("nil metrics should render no values")
+	}
+	if err := m.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsConcurrent exercises the lock under the race detector.
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.ObserveHTTP("GET /v1/stats", 200, time.Microsecond)
+				m.CellFinished("simulated", time.Microsecond)
+				m.AddInFlight(1)
+				m.AddInFlight(-1)
+				_ = m.Values()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Values()[`obs_http_requests_total{route="GET /v1/stats",status="2xx"}`]; got != 1600 {
+		t.Fatalf("concurrent counter = %v, want 1600", got)
+	}
+}

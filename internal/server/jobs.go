@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // job is the server-side state of one submitted run or sweep. The wire
@@ -119,7 +120,8 @@ func (j *job) subscribe() (<-chan api.Job, func()) {
 // goroutine holding a concurrency slot.
 func (s *Server) execute(j *job) {
 	j.transition(api.JobRunning, func(j *job) { j.started = s.now() })
-	s.log.Info("job running", "job", j.id, "kind", j.kind)
+	log := s.log.With(obs.ContextAttrs(j.ctx)...)
+	log.Info("job running", "kind", j.kind)
 
 	var err error
 	switch j.kind {
@@ -164,12 +166,12 @@ func (s *Server) execute(j *job) {
 		if j.ctx.Err() != nil {
 			state = api.JobCancelled
 		}
-		s.log.Info("job finished", "job", j.id, "state", state, "error", err.Error())
+		log.Info("job finished", "state", state, "error", err.Error())
 		j.transition(state, func(j *job) {
 			j.errMsg = err.Error()
 			j.finished = s.now()
 		})
 		return
 	}
-	s.log.Info("job finished", "job", j.id, "state", api.JobDone)
+	log.Info("job finished", "state", api.JobDone)
 }

@@ -20,6 +20,12 @@
 //	GET    /v1/stats            scheduler + queue + telemetry → api.Stats
 //	GET    /v1/metrics          Prometheus text exposition
 //	GET    /v1/healthz          liveness (200 "ok", 503 when draining)
+//
+// Plain operational endpoints (outside the versioned API, no JSON):
+//
+//	GET /healthz        liveness: 200 while the process serves at all
+//	GET /readyz         readiness: 503 the instant drain begins
+//	GET /debug/pprof/*  runtime profiling (only with Options.EnablePprof)
 package server
 
 import (
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +42,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -55,6 +63,10 @@ type Options struct {
 	// Logger receives request- and job-scoped structured logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and must be
+	// opted into on a daemon that may face untrusted clients.
+	EnablePprof bool
 	// Now overrides the wall clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -75,10 +87,8 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // every admitted, unfinished job
 
-	reg    *telemetry.Registry
-	regMu  sync.Mutex // the registry itself is unsynchronized by design
-	nextID atomic.Uint64
-	reqID  atomic.Uint64
+	metrics *obs.Metrics
+	nextID  atomic.Uint64
 }
 
 // New builds a Server and installs its routes. When opts.CacheDir is
@@ -105,52 +115,84 @@ func New(opts Options) (*Server, error) {
 		experiment.SetDiskCache(cache)
 	}
 	s := &Server{
-		opts:  opts,
-		mux:   http.NewServeMux(),
-		log:   opts.Logger,
-		jobs:  make(map[string]*job),
-		slots: make(chan struct{}, opts.Workers),
-		reg:   telemetry.NewRegistry(),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		log:     opts.Logger,
+		jobs:    make(map[string]*job),
+		slots:   make(chan struct{}, opts.Workers),
+		metrics: obs.NewMetrics(),
 	}
+	// The run scheduler is process-global, so its wall-clock observer is
+	// too; the most recently constructed Server owns it (matching how
+	// SetDiskCache already behaves for the cache).
+	experiment.SetWallObserver(s.metrics)
 	s.routes()
 	return s, nil
 }
 
 func (s *Server) now() time.Time { return s.opts.Now() }
 
+// Metrics exposes the server's wall-clock metric surface (tests, and
+// embedding binaries that want to record their own serving metrics).
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
 // counter bumps a named server metric.
 func (s *Server) counter(name string, labels ...telemetry.Label) {
-	s.regMu.Lock()
-	s.reg.Counter(name, labels...).Inc()
-	s.regMu.Unlock()
+	s.metrics.Inc(name, labels...)
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/runs", s.logged(s.handleSubmitRun))
-	s.mux.HandleFunc("POST /v1/sweeps", s.logged(s.handleSubmitSweep))
-	s.mux.HandleFunc("GET /v1/jobs", s.logged(s.handleListJobs))
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.logged(s.handleGetJob))
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.logged(s.handleCancelJob))
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.logged(s.handleJobEvents))
-	s.mux.HandleFunc("GET /v1/stats", s.logged(s.handleStats))
-	s.mux.HandleFunc("GET /v1/metrics", s.logged(s.handleMetrics))
+	for route, h := range map[string]http.HandlerFunc{
+		"POST /v1/runs":            s.handleSubmitRun,
+		"POST /v1/sweeps":          s.handleSubmitSweep,
+		"GET /v1/jobs":             s.handleListJobs,
+		"GET /v1/jobs/{id}":        s.handleGetJob,
+		"DELETE /v1/jobs/{id}":     s.handleCancelJob,
+		"GET /v1/jobs/{id}/events": s.handleJobEvents,
+		"GET /v1/stats":            s.handleStats,
+		"GET /v1/metrics":          s.handleMetrics,
+	} {
+		s.mux.HandleFunc(route, s.logged(route, h))
+	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz", s.handleLiveness)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.opts.EnablePprof {
+		// pprof's index dispatches /debug/pprof/{heap,goroutine,...}
+		// itself; symbol accepts POST, so these patterns carry no method.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // ServeHTTP makes the Server an http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// logged wraps a handler with request-scoped structured logging: every
-// request gets an id, and completion is logged with status and duration.
-func (s *Server) logged(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+// logged wraps a handler with request-scoped observability: every
+// request gets a correlation ID (the client's X-Request-Id when it sent
+// one, a fresh one otherwise) threaded through the request context and
+// echoed on the response, completion is logged with status and duration,
+// and the per-route latency histogram is fed. route is the mux pattern,
+// so metric labels stay bounded no matter what path IDs clients use.
+func (s *Server) logged(route string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
 		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		id := s.reqID.Add(1)
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		rw.Header().Set(obs.RequestIDHeader, id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 		log := s.log.With("req", id, "method", r.Method, "path", r.URL.Path)
 		log.Debug("request start")
 		h(rw, r)
-		log.Info("request done", "status", rw.status, "dur_ms", s.now().Sub(start).Milliseconds())
+		dur := s.now().Sub(start)
+		s.metrics.ObserveHTTP(route, rw.status, dur)
+		log.Info("request done", "status", rw.status, "dur_ms", dur.Milliseconds())
 	}
 }
 
@@ -203,8 +245,18 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 		return false
 	}
 	s.queued++
+	s.metrics.SetQueueDepth(s.queued)
 	s.mu.Unlock()
 	return true
+}
+
+// dequeued records one job leaving the waiting queue (for a worker slot
+// or for cancellation).
+func (s *Server) dequeued() {
+	s.mu.Lock()
+	s.queued--
+	s.metrics.SetQueueDepth(s.queued)
+	s.mu.Unlock()
 }
 
 // enqueue registers the job and hands it to the worker pool.
@@ -215,16 +267,16 @@ func (s *Server) enqueue(j *job) {
 	s.mu.Unlock()
 	s.counter("rmserved_jobs_submitted_total", telemetry.Label{Key: "kind", Value: j.kind})
 	s.inflight.Add(1)
+	s.metrics.AddInFlight(1)
 	go func() {
 		defer s.inflight.Done()
+		defer s.metrics.AddInFlight(-1)
 		// Hold a worker slot for the whole execution; cancellation while
 		// queued skips the wait so a full pool cannot delay a DELETE.
 		select {
 		case s.slots <- struct{}{}:
 		case <-j.ctx.Done():
-			s.mu.Lock()
-			s.queued--
-			s.mu.Unlock()
+			s.dequeued()
 			j.transition(api.JobCancelled, func(j *job) {
 				j.errMsg = j.ctx.Err().Error()
 				j.finished = s.now()
@@ -232,20 +284,27 @@ func (s *Server) enqueue(j *job) {
 			s.counter("rmserved_jobs_finished_total", telemetry.Label{Key: "state", Value: api.JobCancelled})
 			return
 		}
-		s.mu.Lock()
-		s.queued--
-		s.mu.Unlock()
+		s.dequeued()
 		defer func() { <-s.slots }()
 		s.execute(j)
 		s.counter("rmserved_jobs_finished_total", telemetry.Label{Key: "state", Value: j.snapshot().State})
 	}()
 }
 
-// newJob allocates a job shell in the queued state.
-func (s *Server) newJob(kind string) *job {
-	ctx, cancel := context.WithCancel(context.Background())
+// newJob allocates a job shell in the queued state. The job context
+// carries both correlation IDs, so everything executed on the job's
+// behalf — scheduler cells, remote delegation — can be tied back to the
+// submission, and the accept log line links request to job.
+func (s *Server) newJob(r *http.Request, kind string) *job {
+	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
+	ctx := obs.WithJobID(context.Background(), id)
+	if req := obs.RequestID(r.Context()); req != "" {
+		ctx = obs.WithRequestID(ctx, req)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s.log.Info("job accepted", append(obs.ContextAttrs(ctx), "kind", kind)...)
 	return &job{
-		id:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		id:      id,
 		kind:    kind,
 		state:   api.JobQueued,
 		created: s.now(),
@@ -271,7 +330,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w) {
 		return
 	}
-	j := s.newJob("run")
+	j := s.newJob(r, "run")
 	j.run = req
 	s.enqueue(j)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
@@ -290,7 +349,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w) {
 		return
 	}
-	j := s.newJob("sweep")
+	j := s.newJob(r, "sweep")
 	j.sweep = req
 	s.enqueue(j)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
@@ -366,6 +425,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 	events, unsub := j.subscribe()
 	defer unsub()
+	s.metrics.AddSSESubscribers(1)
+	defer s.metrics.AddSSESubscribers(-1)
 
 	emit := func(snap api.Job) bool {
 		data, err := json.Marshal(snap)
@@ -429,17 +490,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	s.regMu.Lock()
-	stats.Telemetry = s.reg.Values()
-	s.regMu.Unlock()
+	stats.Telemetry = s.metrics.Values()
 	writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.regMu.Lock()
-	defer s.regMu.Unlock()
-	_ = s.reg.WritePrometheus(w)
+	_ = s.metrics.WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -448,6 +505,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleLiveness answers /healthz: the process is alive and serving —
+// true for as long as the listener exists, drain included (a draining
+// daemon must NOT be restarted; it is finishing accepted work).
+func (s *Server) handleLiveness(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers /readyz: whether the daemon accepts new jobs. It
+// flips to 503 the moment drain begins — before in-flight jobs finish —
+// so load balancers stop routing submissions while results stay
+// fetchable.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // Drain stops admissions and waits for every in-flight job to reach a
