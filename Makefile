@@ -33,7 +33,7 @@ test:
 # simulations across workers — keep the hot paths, their locking, and the
 # sweep cache honest under the race detector.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/... ./internal/policy/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/telemetry/...

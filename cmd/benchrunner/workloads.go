@@ -121,6 +121,26 @@ func benches() []bench {
 			},
 		},
 		{
+			name:  "ext-tournament",
+			gated: true,
+			desc:  "policy tournament (quick grid, every registered policy) with a cold scheduler memo per op",
+			preOp: experiment.ResetSweepCache,
+			prep: func() (func() error, func(), error) {
+				e, err := experiment.ByID("ext-tournament")
+				if err != nil {
+					return nil, nil, err
+				}
+				ctx := experiment.Context{Quick: true}
+				return func() error {
+					out, err := e.Run(ctx)
+					if err != nil {
+						return err
+					}
+					return out.Render(io.Discard)
+				}, nil, nil
+			},
+		},
+		{
 			name:  "rmserved-roundtrip",
 			gated: false, // dominated by HTTP+poll latency; informational
 			desc:  "submit + wait of one memoized run against an in-process rmserved over real HTTP",

@@ -32,14 +32,15 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		run      = flag.String("run", "", "run a single experiment id (default: all)")
-		out      = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
-		md       = flag.String("md", "", "write a single Markdown report to this file")
-		quick    = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
-		parallel = cliflag.Parallel(flag.CommandLine)
-		seeds    = cliflag.Seeds(flag.CommandLine)
-		cacheDir = cliflag.CacheDir(flag.CommandLine)
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		run       = flag.String("run", "", "run a single experiment id (default: all)")
+		out       = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
+		md        = flag.String("md", "", "write a single Markdown report to this file")
+		quick     = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
+		parallel  = cliflag.Parallel(flag.CommandLine)
+		seeds     = cliflag.Seeds(flag.CommandLine)
+		cacheDir  = cliflag.CacheDir(flag.CommandLine)
+		policies  = cliflag.Policies(flag.CommandLine)
 		remote    = flag.String("remote", "", "rmserved base URL; wire-expressible runs are delegated to the daemon instead of simulated locally")
 		checkDet  = flag.Bool("check-determinism", false, "run each experiment twice (serial, then parallel with a cold cache) and fail unless the outputs are byte-identical")
 		logFormat = cliflag.LogFormat(flag.CommandLine)
@@ -105,7 +106,11 @@ func main() {
 		return
 	}
 
-	ctx := experiment.Context{Parallelism: *parallel, Quick: *quick, Seeds: *seeds}
+	polSubset, err := cliflag.ParsePolicies(*policies)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := experiment.Context{Parallelism: *parallel, Quick: *quick, Seeds: *seeds, Policies: polSubset}
 	wallStart := time.Now()
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

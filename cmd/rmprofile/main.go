@@ -12,10 +12,10 @@ import (
 	"os"
 
 	"repro/internal/cliflag"
-	"repro/internal/obs"
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/regress"
 )

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/cliflag"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -77,6 +78,9 @@ func main() {
 	if *pprofFlag {
 		log.Info("pprof profiling endpoints enabled", "path", "/debug/pprof/")
 	}
+	// The accepted algorithm set is the policy registry, not a hard-coded
+	// list; log it so operators can see what a deployed daemon accepts.
+	log.Info("allocation policies registered", "policies", core.AlgorithmNames())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

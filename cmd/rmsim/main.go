@@ -24,11 +24,12 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/cliflag"
-	"repro/internal/obs"
 	"repro/internal/core"
 	"repro/internal/dynbench"
 	"repro/internal/experiment"
 	"repro/internal/export"
+	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		algFlag  = flag.String("alg", "predictive", "algorithm: predictive | non-predictive | greedy | static-max")
+		algFlag  = cliflag.Alg(flag.CommandLine)
 		pattern  = flag.String("pattern", "triangular", "workload: triangular | increasing | decreasing | step | burst | sinusoid | constant")
 		wlFile   = flag.String("workload-file", "", "replay a recorded trace: one tracks-per-period integer per line ('#' comments allowed); overrides -pattern")
 		min      = flag.Int("min", 500, "minimum workload (tracks per period)")
@@ -56,6 +57,13 @@ func main() {
 		mttr     = flag.Duration("mttr", 8*time.Second, "mean time to repair for -mtbf crashes")
 		drop     = flag.Float64("drop", 0, "per-message drop probability on the shared segment, 0 ≤ p < 1 (enables the hardened manager)")
 		logFmt   = cliflag.LogFormat(flag.CommandLine)
+
+		// Policy knobs (0 = the registered default; see internal/policy).
+		stretchMax    = flag.Float64("stretch-max", 0, "period-stretch: elastic bound on the period multiplier (0 = default 2.0)")
+		stretchStep   = flag.Float64("stretch-step", 0, "period-stretch: per-period stretch increment (0 = default 0.25)")
+		stretchTarget = flag.Float64("stretch-target", 0, "period-stretch: utilization target of the elastic plan (0 = default 0.8)")
+		shedMandatory = flag.Float64("shed-mandatory", 0, "imprecise-shed: mandatory fraction never shed (0 = default 0.5)")
+		shedLevels    = flag.Int("shed-levels", 0, "imprecise-shed: optional-part shedding levels (0 = default 4)")
 	)
 	var fails faultList
 	flag.Var(&fails, "fail", "inject a crash: node@at or node@at+duration, e.g. -fail 2@10.2s+15s (repeatable; omitted duration = permanent)")
@@ -71,7 +79,7 @@ func main() {
 
 	alg := core.Algorithm(*algFlag)
 	if !core.ValidAlgorithm(alg) {
-		fatal(fmt.Errorf("unknown algorithm %q (predictive | non-predictive | greedy | static-max)", *algFlag))
+		fatal(fmt.Errorf("unknown algorithm %q (registered: %s)", *algFlag, core.AlgorithmNames()))
 	}
 	var p workload.Pattern
 	var err error
@@ -119,6 +127,10 @@ func main() {
 		}
 	}
 	cfg.Network.DropProb = *drop
+	cfg.Policy = policy.Config{
+		Stretch: policy.StretchConfig{MaxFactor: *stretchMax, Step: *stretchStep, UtilTarget: *stretchTarget},
+		Shed:    policy.ShedConfig{MandatoryFraction: *shedMandatory, Levels: *shedLevels},
+	}
 	// Stochastic faults and message loss are only survivable with the
 	// hardened manager; scripted -fail crashes stay on the classic path.
 	if *mtbf > 0 || *drop > 0 {

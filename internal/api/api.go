@@ -16,28 +16,31 @@ package api
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/policy"
 )
 
 // SchemaVersion is the current wire schema. Requests must carry it
 // verbatim; responses echo it.
 const SchemaVersion = 1
 
-// Algorithms accepted on the wire (mirrors core.Algorithm).
+// Well-known algorithm names on the wire (mirrors core.Algorithm). The
+// accepted set is not limited to these constants: any name registered in
+// the internal/policy registry validates, so a new policy is wire-ready
+// the moment it registers.
 const (
 	AlgPredictive    = "predictive"
 	AlgNonPredictive = "non-predictive"
 	AlgGreedy        = "greedy"
 	AlgStaticMax     = "static-max"
+	AlgPeriodStretch = "period-stretch"
+	AlgImpreciseShed = "imprecise-shed"
 )
 
 func validAlgorithm(a string) bool {
-	switch a {
-	case AlgPredictive, AlgNonPredictive, AlgGreedy, AlgStaticMax:
-		return true
-	}
-	return false
+	return policy.Registered(a)
 }
 
 // Model sources accepted on the wire (mirrors experiment.ModelSource).
@@ -88,7 +91,8 @@ func (r RunRequest) Validate() error {
 		errs = append(errs, fmt.Errorf("api: schema_version %d unsupported (want %d)", r.SchemaVersion, SchemaVersion))
 	}
 	if !validAlgorithm(r.Algorithm) {
-		errs = append(errs, fmt.Errorf("api: unknown algorithm %q", r.Algorithm))
+		errs = append(errs, fmt.Errorf("api: unknown algorithm %q (registered: %s)",
+			r.Algorithm, strings.Join(policy.Names(), " | ")))
 	}
 	if err := r.Task.Validate(); err != nil {
 		errs = append(errs, err)
@@ -164,6 +168,9 @@ type Metrics struct {
 	Crashes         int     `json:"crashes,omitempty"`
 	Recoveries      int     `json:"recoveries,omitempty"`
 	MeanRecoveryMS  float64 `json:"mean_recovery_ms,omitempty"`
+
+	ShedItems        int `json:"shed_items,omitempty"`
+	StretchedPeriods int `json:"stretched_periods,omitempty"`
 }
 
 // MetricsFromRun converts the internal metrics struct to its wire form.
@@ -186,6 +193,9 @@ func MetricsFromRun(m metrics.RunMetrics) Metrics {
 		Crashes:         m.Crashes,
 		Recoveries:      m.Recoveries,
 		MeanRecoveryMS:  m.MeanRecoveryMS,
+
+		ShedItems:        m.ShedItems,
+		StretchedPeriods: m.StretchedPeriods,
 	}
 }
 
@@ -209,6 +219,9 @@ func (m Metrics) ToRun() metrics.RunMetrics {
 		Crashes:         m.Crashes,
 		Recoveries:      m.Recoveries,
 		MeanRecoveryMS:  m.MeanRecoveryMS,
+
+		ShedItems:        m.ShedItems,
+		StretchedPeriods: m.StretchedPeriods,
 	}
 }
 

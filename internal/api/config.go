@@ -8,6 +8,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/monitor"
 	"repro/internal/network"
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	Faults      []Fault           `json:"faults,omitempty"`
 	Chaos       ChaosConfig       `json:"chaos,omitempty"`
 	Degradation DegradationConfig `json:"degradation,omitempty"`
+
+	// Policy, when non-nil, carries the allocation-policy knobs; absent
+	// means the registered defaults (policy.Config zero value).
+	Policy *PolicyConfig `json:"policy,omitempty"`
 }
 
 // NetworkConfig mirrors network.Config.
@@ -92,6 +97,16 @@ type DegradationConfig struct {
 	StalenessWindowNS int64   `json:"staleness_window_ns,omitempty"`
 	CooldownPeriods   int     `json:"cooldown_periods,omitempty"`
 	FallbackUtil      float64 `json:"fallback_util,omitempty"`
+}
+
+// PolicyConfig mirrors policy.Config flattened: the period-stretch and
+// imprecise-shed knobs. Zero fields mean the policy package's defaults.
+type PolicyConfig struct {
+	StretchMaxFactor      float64 `json:"stretch_max_factor,omitempty"`
+	StretchStep           float64 `json:"stretch_step,omitempty"`
+	StretchUtilTarget     float64 `json:"stretch_util_target,omitempty"`
+	ShedMandatoryFraction float64 `json:"shed_mandatory_fraction,omitempty"`
+	ShedLevels            int     `json:"shed_levels,omitempty"`
 }
 
 // DefaultConfig returns the Table 1 baseline in wire form.
@@ -157,6 +172,15 @@ func ConfigFromCore(c core.Config) Config {
 	if c.Discipline != cpu.RoundRobin {
 		out.Discipline = c.Discipline.String()
 	}
+	if c.Policy != (policy.Config{}) {
+		out.Policy = &PolicyConfig{
+			StretchMaxFactor:      c.Policy.Stretch.MaxFactor,
+			StretchStep:           c.Policy.Stretch.Step,
+			StretchUtilTarget:     c.Policy.Stretch.UtilTarget,
+			ShedMandatoryFraction: c.Policy.Shed.MandatoryFraction,
+			ShedLevels:            c.Policy.Shed.Levels,
+		}
+	}
 	for _, w := range c.Network.Partitions {
 		out.Network.Partitions = append(out.Network.Partitions, Window{StartNS: int64(w.Start), EndNS: int64(w.End)})
 	}
@@ -220,6 +244,19 @@ func (c Config) ToCore() (core.Config, error) {
 			CooldownPeriods: c.Degradation.CooldownPeriods,
 			FallbackUtil:    c.Degradation.FallbackUtil,
 		},
+	}
+	if c.Policy != nil {
+		out.Policy = policy.Config{
+			Stretch: policy.StretchConfig{
+				MaxFactor:  c.Policy.StretchMaxFactor,
+				Step:       c.Policy.StretchStep,
+				UtilTarget: c.Policy.StretchUtilTarget,
+			},
+			Shed: policy.ShedConfig{
+				MandatoryFraction: c.Policy.ShedMandatoryFraction,
+				Levels:            c.Policy.ShedLevels,
+			},
+		}
 	}
 	for _, w := range c.Network.Partitions {
 		out.Network.Partitions = append(out.Network.Partitions, network.Window{Start: sim.Time(w.StartNS), End: sim.Time(w.EndNS)})

@@ -6,13 +6,55 @@
 // generated from these definitions in spirit: update both together.
 package cliflag
 
-import "flag"
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
 
 // Seed registers -seed: the deterministic simulation (or profiling)
 // seed. Defaults differ per binary (rmsim pins 1, rmprofile pins 11) so
 // historical outputs stay reproducible; the default is the caller's.
 func Seed(fs *flag.FlagSet, def uint64) *uint64 {
 	return fs.Uint64("seed", def, "deterministic simulation seed")
+}
+
+// Alg registers -alg: the allocation policy for a run. The help text is
+// generated from the internal/policy registry, so a newly registered
+// policy appears in every binary's usage without touching the mains.
+func Alg(fs *flag.FlagSet) *string {
+	return fs.String("alg", string(core.Predictive),
+		"allocation policy: "+core.AlgorithmNames())
+}
+
+// Policies registers -policies: a comma-separated subset of registered
+// policies for experiments that sweep the whole registry (ext-tournament).
+// Empty means every registered policy. ParsePolicies validates the value.
+func Policies(fs *flag.FlagSet) *string {
+	return fs.String("policies", "",
+		"comma-separated policy subset for registry sweeps (default: all of "+core.AlgorithmNames()+")")
+}
+
+// ParsePolicies splits and validates a -policies value against the
+// registry. Empty input returns nil (meaning "all registered").
+func ParsePolicies(v string) ([]string, error) {
+	if strings.TrimSpace(v) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(v, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !core.ValidAlgorithm(core.Algorithm(name)) {
+			return nil, fmt.Errorf("unknown policy %q (registered: %s)", name, core.AlgorithmNames())
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }
 
 // Parallel registers -parallel: the worker-pool width for concurrent

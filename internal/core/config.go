@@ -10,11 +10,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/chaos"
 	"repro/internal/cpu"
 	"repro/internal/monitor"
 	"repro/internal/network"
+	"repro/internal/policy"
 	"repro/internal/regress"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -22,10 +24,13 @@ import (
 	"repro/internal/workload"
 )
 
-// Algorithm selects the step-2 allocator.
+// Algorithm names the allocation policy driving step 2 of the management
+// process. Every name resolves through the internal/policy registry; the
+// constants below are the built-ins.
 type Algorithm string
 
-// The two algorithms compared in §5, plus two extension baselines.
+// The two algorithms compared in §5, the extension baselines, and the
+// graceful-degradation policies.
 const (
 	// Predictive is the paper's contribution (Figure 5).
 	Predictive Algorithm = "predictive"
@@ -36,15 +41,42 @@ const (
 	// StaticMax replicates everything everywhere up front and never
 	// adapts (extension; the maximum-concurrency bound).
 	StaticMax Algorithm = "static-max"
+	// PeriodStretch degrades under overload by elastically stretching the
+	// effective period within configured bounds (Dwivedi,
+	// arXiv:1212.3502) before spending replicas.
+	PeriodStretch Algorithm = "period-stretch"
+	// ImpreciseShed degrades under overload by shedding optional parts of
+	// each period's items, mandatory parts untouched (El-Haweet et al.,
+	// arXiv:1306.0448).
+	ImpreciseShed Algorithm = "imprecise-shed"
 )
 
-// ValidAlgorithm reports whether a is a known allocator name.
+// ValidAlgorithm reports whether a names a registered allocation policy.
 func ValidAlgorithm(a Algorithm) bool {
-	switch a {
-	case Predictive, NonPredictive, Greedy, StaticMax:
-		return true
+	return policy.Registered(string(a))
+}
+
+// Algorithms returns every registered policy name in registration order.
+func Algorithms() []Algorithm {
+	names := policy.Names()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
 	}
-	return false
+	return out
+}
+
+// AlgorithmNames returns the registered policy names joined for flag
+// help and error messages.
+func AlgorithmNames() string {
+	var b strings.Builder
+	for i, n := range policy.Names() {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(n)
+	}
+	return b.String()
 }
 
 // Config holds the system parameters; DefaultConfig reproduces Table 1.
@@ -102,6 +134,13 @@ type Config struct {
 	// value disables every mechanism so clean runs are byte-identical to
 	// a build without it; HardenedDegradation returns sane defaults.
 	Degradation Degradation
+
+	// Policy carries the knobs of the registered allocation policies
+	// (period-stretch bounds, imprecise-shed fractions). The zero value
+	// means the policy package's defaults; algorithms that ignore a knob
+	// are unaffected by it, but every field still feeds the run
+	// fingerprint.
+	Policy policy.Config
 
 	// Telemetry, when non-nil, receives spans, metrics and forecast
 	// residuals from the run (see internal/telemetry). Nil — the default —
@@ -232,6 +271,9 @@ func (c Config) Validate() error {
 		errs = append(errs, err)
 	}
 	if err := c.Degradation.validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := c.Policy.Validate(); err != nil {
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)

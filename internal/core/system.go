@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/network"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/telemetry"
@@ -81,6 +82,10 @@ type runtimeTask struct {
 	dep   *task.Deployment
 	mon   *monitor.Monitor
 	alloc manager.Allocator
+	// ctrl is the policy's optional degrade/recover hook, consulted at
+	// every period start. Nil for the paper's algorithms and the static
+	// baselines — their per-period path is untouched by the policy layer.
+	ctrl policy.Controller
 
 	// utilSnapshot is the per-node utilization from *other* work (total
 	// busy time minus this task's own jobs) over the last monitoring
@@ -455,17 +460,20 @@ func (s *system) newRuntimeTask(setup TaskSetup) (*runtimeTask, error) {
 	if err != nil {
 		return nil, err
 	}
-	var alloc manager.Allocator
-	switch s.alg {
-	case Predictive:
-		alloc, err = manager.NewPredictive(setup.Exec, setup.Comm)
-	case NonPredictive:
-		alloc, err = manager.NewNonPredictive(s.cfg.UtilThreshold)
-	case Greedy:
-		alloc = manager.Greedy{}
-	case StaticMax:
-		alloc = manager.Static{}
+	pol, ok := policy.Lookup(string(s.alg))
+	if !ok {
+		// RunContext validates the algorithm before any task is built, so
+		// reaching here is a wiring bug rather than user input.
+		return nil, fmt.Errorf("core: unknown algorithm %q", s.alg)
 	}
+	penv := policy.TaskEnv{
+		Exec:          setup.Exec,
+		Comm:          setup.Comm,
+		NumNodes:      s.cfg.NumNodes,
+		UtilThreshold: s.cfg.UtilThreshold,
+		Knobs:         s.cfg.Policy,
+	}
+	alloc, err := pol.NewAllocator(penv)
 	if err != nil {
 		return nil, err
 	}
@@ -478,20 +486,10 @@ func (s *system) newRuntimeTask(setup TaskSetup) (*runtimeTask, error) {
 			s.tel.RecordForecastEval(name, stage)
 		}
 	}
-	if s.alg == StaticMax {
-		// Maximum-concurrency deployment: every replicable subtask on
-		// every node, fixed for the whole run.
-		for stage, st := range setup.Spec.Subtasks {
-			if !st.Replicable {
-				continue
-			}
-			for p := 0; p < s.cfg.NumNodes; p++ {
-				if !dep.Has(stage, p) {
-					if err := dep.AddReplica(stage, p); err != nil {
-						return nil, err
-					}
-				}
-			}
+	if seeder, ok := pol.(policy.DeploymentSeeder); ok {
+		// static-max: maximum-concurrency deployment, fixed for the run.
+		if err := seeder.SeedDeployment(penv, dep, setup.Spec); err != nil {
+			return nil, err
 		}
 	}
 	rt := &runtimeTask{
@@ -503,6 +501,9 @@ func (s *system) newRuntimeTask(setup TaskSetup) (*runtimeTask, error) {
 		ownBusy:      make([]sim.Time, s.cfg.NumNodes),
 		lastOwn:      make([]sim.Time, s.cfg.NumNodes),
 		lastBusy:     make([]sim.Time, s.cfg.NumNodes),
+	}
+	if cm, ok := pol.(policy.ControllerMaker); ok {
+		rt.ctrl = cm.NewController(penv)
 	}
 	// Initial EQF assignment from the initial operating conditions
 	// (§4.1: d_init from the first period's workload, u_init = idle).
@@ -589,7 +590,8 @@ func (s *system) totalItems() int {
 	return total
 }
 
-// runPeriod fires at each period start: sample, adapt, record, launch.
+// runPeriod fires at each period start: sample, analyze, consult the
+// policy controller, adapt, record, launch.
 func (s *system) runPeriod(rt *runtimeTask, c int) {
 	items := rt.setup.Pattern.Size(c)
 
@@ -600,14 +602,81 @@ func (s *system) runPeriod(rt *runtimeTask, c int) {
 	// 1b. Fail-over: heal placements that reference crashed nodes.
 	s.repairPlacements(rt, c)
 
-	// 2. Adapt placement based on the most recent completed record. The
-	// workload known to the allocator is the previous period's ds(Ti,c):
-	// the new period's sensor count has not arrived yet.
+	// 2. Monitor verdict for the most recent completed record, with the
+	// chaos-hardening hysteresis: for CooldownPeriods after any node
+	// flaps, replicas are not shut down — a node that just came back (or
+	// is about to come back) would otherwise trigger immediate
+	// de-allocation of exactly the redundancy the next crash needs.
+	// Replication stays responsive.
+	analysis := rt.mon.AnalyzeAt(rt.lastCompleted, s.eng.Now())
+	if d := s.cfg.Degradation.CooldownPeriods; d > 0 && len(analysis.Shutdown) > 0 &&
+		s.eng.Now() < s.lastTransition+sim.Time(d)*rt.setup.Spec.Period {
+		analysis.Shutdown = analysis.Shutdown[:0]
+	}
+
+	// 2b. Policy degrade/recover hook: a controller may shed part of the
+	// period's items, skip the launch entirely (period stretching), or
+	// swallow the monitor's signals because it degraded instead of
+	// allocating. Policies without a controller take the paper's path
+	// untouched.
+	launchItems, skip := items, false
+	if rt.ctrl != nil {
+		dec := rt.ctrl.PlanPeriod(policy.PeriodState{
+			Period:      c,
+			Items:       items,
+			Overloaded:  len(analysis.Replicate) > 0,
+			Underloaded: len(analysis.Shutdown) > 0,
+			MeanRawUtil: meanFloat(rt.rawSnapshot),
+		})
+		if dec.SuppressReplicate {
+			analysis.Replicate = analysis.Replicate[:0]
+		}
+		if dec.SuppressShutdown {
+			analysis.Shutdown = analysis.Shutdown[:0]
+		}
+		if dec.Skip {
+			skip = true
+			s.collector.CountStretchedPeriod()
+			s.log.Adaptation(trace.AdaptationEvent{
+				At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: -1,
+				Kind: trace.ActionStretch,
+			})
+			s.tel.RecordAdaptation(s.eng.Now(), rt.setup.Spec.Name, -1, c,
+				string(trace.ActionStretch), 1)
+		} else {
+			launchItems = dec.LaunchItems
+			if launchItems > items {
+				launchItems = items
+			}
+			if launchItems < 0 {
+				launchItems = 0
+			}
+			if shed := items - launchItems; shed > 0 {
+				s.collector.CountShedItems(shed)
+				s.log.Adaptation(trace.AdaptationEvent{
+					At: s.eng.Now(), Period: c, Task: rt.setup.Spec.Name, Stage: -1,
+					Kind: trace.ActionShed,
+				})
+				s.tel.RecordAdaptation(s.eng.Now(), rt.setup.Spec.Name, -1, c,
+					string(trace.ActionShed), int64(shed))
+			}
+		}
+	}
+
+	// 2c. Adapt placement. The workload known to the allocator is the
+	// previous period's ds(Ti,c): the new period's sensor count has not
+	// arrived yet.
 	knownItems := items
 	if c > 0 {
 		knownItems = rt.setup.Pattern.Size(c - 1)
 	}
-	s.adapt(rt, c, knownItems)
+	s.adapt(rt, c, knownItems, analysis)
+
+	// A stretched-away period launches nothing and takes no utilization
+	// sample: the nominal boundary exists, the instance does not.
+	if skip {
+		return
+	}
 
 	// 3. System-level metric samples, anchored to the first task's
 	// periods so multi-task runs don't double-count windows.
@@ -632,20 +701,12 @@ func (s *system) runPeriod(rt *runtimeTask, c int) {
 	}
 
 	// 4. Launch the instance.
-	s.launch(rt, c, items)
+	s.launch(rt, c, launchItems)
 }
 
-// adapt runs steps 1–2 of the management process for one task.
-func (s *system) adapt(rt *runtimeTask, c, items int) {
-	analysis := rt.mon.AnalyzeAt(rt.lastCompleted, s.eng.Now())
-	// Hysteresis: for CooldownPeriods after any node flaps, replicas are
-	// not shut down — a node that just came back (or is about to come
-	// back) would otherwise trigger immediate de-allocation of exactly
-	// the redundancy the next crash needs. Replication stays responsive.
-	if d := s.cfg.Degradation.CooldownPeriods; d > 0 && len(analysis.Shutdown) > 0 &&
-		s.eng.Now() < s.lastTransition+sim.Time(d)*rt.setup.Spec.Period {
-		analysis.Shutdown = analysis.Shutdown[:0]
-	}
+// adapt runs steps 1–2 of the management process for one task, acting on
+// the (possibly policy-filtered) monitor analysis.
+func (s *system) adapt(rt *runtimeTask, c, items int, analysis monitor.Analysis) {
 	if len(analysis.Replicate) == 0 && len(analysis.Shutdown) == 0 {
 		return
 	}
@@ -758,4 +819,16 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// meanFloat returns the arithmetic mean, 0 for an empty slice.
+func meanFloat(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
 }

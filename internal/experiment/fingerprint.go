@@ -17,7 +17,11 @@ import (
 // v2: core.Config gained Chaos/Degradation, network.Config gained the
 // loss/jitter/partition knobs, and RunOutcome's metrics gained the
 // chaos counters.
-const cacheSchema = 2
+//
+// v3: the allocation policies moved behind the internal/policy registry,
+// core.Config gained the Policy knob section (stretch/shed), and
+// RunOutcome's metrics gained the ShedItems/StretchedPeriods counters.
+const cacheSchema = 3
 
 // demandProbeSizes are the item counts at which each subtask's demand
 // curve is sampled into the fingerprint. Demand functions are closures,
@@ -59,4 +63,12 @@ func runFingerprint(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprint exposes the content address of one run — the scheduler's
+// dedup key and disk-cache file name — so external test suites (the
+// policy conformance harness's knob-sensitivity check) can assert that
+// two run descriptions do or do not alias.
+func Fingerprint(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) string {
+	return runFingerprint(cfg, alg, setups)
 }

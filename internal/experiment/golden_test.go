@@ -229,3 +229,28 @@ func TestGoldenExtChaos(t *testing.T) {
 	}
 	checkGolden(t, "extchaos.golden.csv", csv.Bytes())
 }
+
+// TestGoldenExtTournament pins the policy tournament: both the grid and
+// the leaderboard must be pure functions of the FNV cell seeds, for
+// every registered policy — including the controller-driven
+// period-stretch and imprecise-shed paths. Quick mode trims to the
+// triangular pattern and the low/medium intensities; two seeds exercise
+// the CI columns. The grid and leaderboard are pinned separately so a
+// ranking flip is distinguishable from a cell-level drift.
+func TestGoldenExtTournament(t *testing.T) {
+	e, err := ByID("ext-tournament")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(Context{Quick: true, Parallelism: 4, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, table := range out.Tables {
+		var csv bytes.Buffer
+		if err := table.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, fmt.Sprintf("exttournament-%d.golden.csv", i+1), csv.Bytes())
+	}
+}

@@ -16,6 +16,11 @@ type Context struct {
 	// single-run mode). With Seeds ≥ 2 the sweep figures render each
 	// quantity as mean ± 95% CI over the replications.
 	Seeds int
+	// Policies restricts registry-sweeping experiments (ext-tournament)
+	// to a subset of registered allocation policies. Nil or empty means
+	// every registered policy. Experiments that pin their own algorithm
+	// set (the paper's tables and figures) ignore it.
+	Policies []string
 }
 
 // seeds normalizes the replication count.

@@ -32,6 +32,11 @@ type RunMetrics struct {
 	Crashes         int     // node-down transitions
 	Recoveries      int     // node-up transitions
 	MeanRecoveryMS  float64 // mean crash → first met deadline, milliseconds
+
+	// Graceful-degradation observations; all zero under policies that
+	// never degrade (the paper's algorithms and the static baselines).
+	ShedItems        int // optional items dropped before launch (imprecise-shed)
+	StretchedPeriods int // period launches skipped by elastic stretching (period-stretch)
 }
 
 // MissedPct returns the missed-deadline percentage MD. Instances that
@@ -101,6 +106,9 @@ type Collector struct {
 	recoveries  int
 	recoverySum float64 // milliseconds
 	recoveryObs int
+
+	shedItems        int
+	stretchedPeriods int
 }
 
 // NewCollector returns a collector; maxReplicas is Max(R), normally the
@@ -151,6 +159,13 @@ func (c *Collector) CountCrash() { c.crashes++ }
 // CountRecovery records a node-up transition.
 func (c *Collector) CountRecovery() { c.recoveries++ }
 
+// CountShedItems adds n optional items dropped before launch.
+func (c *Collector) CountShedItems(n int) { c.shedItems += n }
+
+// CountStretchedPeriod records one period launch skipped by elastic
+// period stretching.
+func (c *Collector) CountStretchedPeriod() { c.stretchedPeriods++ }
+
 // ObserveRecoveryLatency records one crash → first-met-deadline interval
 // in milliseconds.
 func (c *Collector) ObserveRecoveryLatency(ms float64) {
@@ -180,6 +195,9 @@ func (c *Collector) Finish() RunMetrics {
 		Retransmissions: c.retransmits,
 		Crashes:         c.crashes,
 		Recoveries:      c.recoveries,
+
+		ShedItems:        c.shedItems,
+		StretchedPeriods: c.stretchedPeriods,
 	}
 	if c.recoveryObs > 0 {
 		m.MeanRecoveryMS = c.recoverySum / float64(c.recoveryObs)

@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"repro/internal/manager"
+	"repro/internal/task"
+)
+
+// The built-ins register from one init so Names() order — and with it
+// the tournament grid — is fixed: the paper's two algorithms first, the
+// PR-era baselines next, the degradation policies last.
+func init() {
+	Register(predictivePolicy{})
+	Register(nonPredictivePolicy{})
+	Register(greedyPolicy{})
+	Register(staticMaxPolicy{})
+	Register(stretchPolicy{})
+	Register(shedPolicy{})
+}
+
+// predictivePolicy is the paper's contribution: Figure 5 forecast-driven
+// replication with the Figure 6 shutdown guard.
+type predictivePolicy struct{}
+
+func (predictivePolicy) Name() string  { return "predictive" }
+func (predictivePolicy) Paper() string { return "source paper, Figure 5 (ipps 2001)" }
+func (predictivePolicy) NewAllocator(env TaskEnv) (manager.Allocator, error) {
+	return manager.NewPredictive(env.Exec, env.Comm)
+}
+
+// nonPredictivePolicy is the paper's baseline: Figure 7 threshold
+// replication.
+type nonPredictivePolicy struct{}
+
+func (nonPredictivePolicy) Name() string  { return "non-predictive" }
+func (nonPredictivePolicy) Paper() string { return "source paper, Figure 7 (ipps 2001)" }
+func (nonPredictivePolicy) NewAllocator(env TaskEnv) (manager.Allocator, error) {
+	return manager.NewNonPredictive(env.UtilThreshold)
+}
+
+// greedyPolicy is the simplest reactive extension baseline.
+type greedyPolicy struct{}
+
+func (greedyPolicy) Name() string  { return "greedy" }
+func (greedyPolicy) Paper() string { return "extension baseline (one replica per trigger)" }
+func (greedyPolicy) NewAllocator(TaskEnv) (manager.Allocator, error) {
+	return manager.Greedy{}, nil
+}
+
+// staticMaxPolicy is the maximum-concurrency upper bound: every
+// replicable subtask on every node, fixed for the whole run.
+type staticMaxPolicy struct{}
+
+func (staticMaxPolicy) Name() string  { return "static-max" }
+func (staticMaxPolicy) Paper() string { return "extension baseline (maximum-concurrency bound)" }
+func (staticMaxPolicy) NewAllocator(TaskEnv) (manager.Allocator, error) {
+	return manager.Static{}, nil
+}
+
+// SeedDeployment implements DeploymentSeeder: the full deployment is
+// fixed up front and the Static allocator never changes it.
+func (staticMaxPolicy) SeedDeployment(env TaskEnv, d *task.Deployment, spec task.Spec) error {
+	for stage, st := range spec.Subtasks {
+		if !st.Replicable {
+			continue
+		}
+		for p := 0; p < env.NumNodes; p++ {
+			if !d.Has(stage, p) {
+				if err := d.AddReplica(stage, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package policy_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// TestPolicyChaosInteraction runs every registered policy through the
+// retransmit-efficacy scenario (10% message drop on the shared segment,
+// constant workload) twice — bare, then under the hardened manager —
+// and checks the interaction contract: the lossy network actually
+// drops, hardening is the only source of retransmissions, and with
+// retransmission in place no policy misses more deadlines than its bare
+// run. The whole suite runs under -race in CI, so a policy whose
+// controller state races with the retransmit path fails here too.
+func TestPolicyChaosInteraction(t *testing.T) {
+	t.Parallel()
+	for _, name := range policy.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func(hardened bool) core.Result {
+				t.Helper()
+				setup, err := experiment.BenchmarkSetup(workload.NewConstant(8*experiment.WorkloadUnit, 50))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := core.DefaultConfig()
+				cfg.Seed = 23
+				cfg.Network.DropProb = 0.10
+				if hardened {
+					cfg.Degradation = core.HardenedDegradation()
+				}
+				res, err := core.Run(cfg, core.Algorithm(name), []core.TaskSetup{setup})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			bare := run(false)
+			hard := run(true)
+
+			if bare.Metrics.DroppedMessages == 0 || hard.Metrics.DroppedMessages == 0 {
+				t.Fatalf("10%% drop probability dropped nothing (bare %d, hardened %d)",
+					bare.Metrics.DroppedMessages, hard.Metrics.DroppedMessages)
+			}
+			if bare.Metrics.Retransmissions != 0 {
+				t.Errorf("bare run retransmitted %d messages with no delivery watchdog", bare.Metrics.Retransmissions)
+			}
+			if hard.Metrics.Retransmissions == 0 {
+				t.Error("hardened run never retransmitted under 10% drop")
+			}
+			// Retransmit efficacy: recovering lost handoffs must not cost
+			// deadlines relative to losing them outright.
+			if hard.Metrics.Missed > bare.Metrics.Missed {
+				t.Errorf("hardening regressed deadlines: %d missed hardened vs %d bare",
+					hard.Metrics.Missed, bare.Metrics.Missed)
+			}
+			if hard.Metrics.Completed == 0 {
+				t.Error("hardened run completed nothing")
+			}
+		})
+	}
+}

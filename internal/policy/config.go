@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config holds every policy-specific knob carried by the run
+// configuration. Like core.Degradation, the zero value means "the
+// registered defaults": a config that never mentions policies behaves
+// exactly as the built-in parameters prescribe, and the wire schema can
+// omit the whole section. Every field feeds the run fingerprint, so two
+// runs differing in any knob never share a cache entry (the reflective
+// leaf-walk tests in internal/experiment and internal/api keep that
+// true as knobs are added).
+type Config struct {
+	// Stretch parameterizes the period-stretch policy.
+	Stretch StretchConfig
+	// Shed parameterizes the imprecise-shed policy.
+	Shed ShedConfig
+}
+
+// StretchConfig tunes the elastic period-adaptation policy
+// (arXiv:1212.3502). Zero fields resolve to the defaults noted per
+// field.
+type StretchConfig struct {
+	// MaxFactor is the elastic bound on the period multiplier: the
+	// effective period never exceeds MaxFactor × the nominal period.
+	// Default 2.0; must be ≥ 1 when set.
+	MaxFactor float64
+	// Step is the per-overloaded-period increment of the stretch factor
+	// (and the per-recovered-period decrement). Default 0.25.
+	Step float64
+	// UtilTarget is the node utilization the elastic plan steers toward:
+	// when overloaded, the factor jumps to StretchPlan's analytic target
+	// for the observed utilization against this threshold. Default 0.8;
+	// must be in (0, 1] when set.
+	UtilTarget float64
+}
+
+// ShedConfig tunes the imprecise-computation policy (arXiv:1306.0448).
+// Zero fields resolve to the defaults noted per field.
+type ShedConfig struct {
+	// MandatoryFraction is the fraction of each period's items that is
+	// mandatory — never shed, whatever the overload. Default 0.5; must be
+	// in (0, 1] when set.
+	MandatoryFraction float64
+	// Levels is the granularity of optional-part shedding: the optional
+	// items divide into this many priority-ordered chunks, shed lowest
+	// priority first and restored in the reverse order. Default 4; must
+	// be ≥ 1 when set.
+	Levels int
+}
+
+// Defaults for the zero-valued knobs.
+const (
+	DefaultStretchMaxFactor  = 2.0
+	DefaultStretchStep       = 0.25
+	DefaultStretchUtilTarget = 0.8
+	DefaultShedMandatory     = 0.5
+	DefaultShedLevels        = 4
+)
+
+// withDefaults resolves zero fields to the registered defaults.
+func (c StretchConfig) withDefaults() StretchConfig {
+	if c.MaxFactor == 0 {
+		c.MaxFactor = DefaultStretchMaxFactor
+	}
+	if c.Step == 0 {
+		c.Step = DefaultStretchStep
+	}
+	if c.UtilTarget == 0 {
+		c.UtilTarget = DefaultStretchUtilTarget
+	}
+	return c
+}
+
+// withDefaults resolves zero fields to the registered defaults.
+func (c ShedConfig) withDefaults() ShedConfig {
+	if c.MandatoryFraction == 0 {
+		c.MandatoryFraction = DefaultShedMandatory
+	}
+	if c.Levels == 0 {
+		c.Levels = DefaultShedLevels
+	}
+	return c
+}
+
+// Validate reports every out-of-range knob at once (zero always passes:
+// it means the default).
+func (c Config) Validate() error {
+	var errs []error
+	if f := c.Stretch.MaxFactor; f != 0 && f < 1 {
+		errs = append(errs, fmt.Errorf("policy: stretch max factor %v below 1", f))
+	}
+	if s := c.Stretch.Step; s < 0 {
+		errs = append(errs, fmt.Errorf("policy: negative stretch step %v", s))
+	}
+	if u := c.Stretch.UtilTarget; u < 0 || u > 1 {
+		errs = append(errs, fmt.Errorf("policy: stretch utilization target %v out of [0,1]", u))
+	}
+	if m := c.Shed.MandatoryFraction; m < 0 || m > 1 {
+		errs = append(errs, fmt.Errorf("policy: mandatory fraction %v out of [0,1]", m))
+	}
+	if l := c.Shed.Levels; l < 0 {
+		errs = append(errs, fmt.Errorf("policy: negative shed levels %d", l))
+	}
+	return errors.Join(errs...)
+}

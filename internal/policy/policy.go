@@ -1,0 +1,181 @@
+// Package policy puts the allocate/degrade/recover decision path behind
+// one registry-keyed interface. The paper hardcodes two managers — the
+// predictive algorithm (Figure 5) against the non-predictive baseline
+// (Figure 7) — but the adaptation loop only ever needs three things from
+// an algorithm: an Allocator for replication/shutdown decisions, an
+// optional initial deployment, and an optional per-period Controller
+// that can degrade gracefully (shed work, stretch periods) instead of —
+// or before — changing the replica set.
+//
+// Every algorithm name accepted anywhere in the system (core.Config, the
+// rmsim -alg flag, the rmserved wire schema, the ext-tournament grid)
+// resolves through this package's registry, so adding a policy here is
+// the single step that makes it runnable, cacheable, and comparable.
+//
+// The registered built-ins:
+//
+//	predictive      Figure 5 (the paper's contribution)
+//	non-predictive  Figure 7 (the paper's baseline)
+//	greedy          one replica per trigger, no forecast (extension)
+//	static-max      maximum-concurrency upper bound (extension)
+//	period-stretch  elastic period adaptation (Dwivedi, arXiv:1212.3502)
+//	imprecise-shed  mandatory/optional imprecise computation
+//	                (El-Haweet et al., arXiv:1306.0448)
+//
+// Behavior preservation: the first four policies carry no Controller, so
+// the per-period hot path of a run under them is byte-identical to the
+// pre-registry build (the golden CSVs under internal/experiment/testdata
+// pin this). The conformance suite in this directory holds every
+// registered policy to the same contract.
+package policy
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/manager"
+	"repro/internal/regress"
+	"repro/internal/task"
+)
+
+// TaskEnv carries the per-task construction inputs a policy may use to
+// build its machinery: the fitted regression models (eqs. 3–6), the
+// cluster size, the non-predictive threshold, and the policy knobs from
+// the run configuration.
+type TaskEnv struct {
+	// Exec holds one fitted eq. (3) model per subtask.
+	Exec []regress.ExecModel
+	// Comm is the fitted eq. (4)–(6) model.
+	Comm regress.CommModel
+	// NumNodes is the cluster size.
+	NumNodes int
+	// UtilThreshold is the non-predictive algorithm's UT (Table 1: 20 %).
+	UtilThreshold float64
+	// Knobs holds the policy-specific configuration; zero fields mean the
+	// registered defaults (Config.withDefaults resolves them).
+	Knobs Config
+}
+
+// Policy builds the per-task allocation machinery for one registered
+// algorithm. Implementations must be stateless values: per-run state
+// lives in the Allocator and Controller they construct.
+type Policy interface {
+	// Name is the registry key: the algorithm string accepted by
+	// core.Config, the CLI flags, and the wire schema.
+	Name() string
+	// Paper cites the source of the strategy (for the README matrix and
+	// experiment notes).
+	Paper() string
+	// NewAllocator constructs the replication/shutdown decision maker for
+	// one task.
+	NewAllocator(env TaskEnv) (manager.Allocator, error)
+}
+
+// ControllerMaker is an optional Policy extension: policies that degrade
+// gracefully under overload build a per-task Controller consulted at
+// every period start.
+type ControllerMaker interface {
+	NewController(env TaskEnv) Controller
+}
+
+// PeriodState is what a Controller sees at one period boundary, after
+// monitoring but before any adaptation or launch.
+type PeriodState struct {
+	// Period is the period index c.
+	Period int
+	// Items is ds(Ti, c): the workload of the period about to launch.
+	Items int
+	// Overloaded reports that the monitor flagged replication candidates
+	// (missed or nearly-missed subtask deadlines).
+	Overloaded bool
+	// Underloaded reports that the monitor flagged very-high-slack stages
+	// (shutdown candidates).
+	Underloaded bool
+	// MeanRawUtil is the mean total node utilization observed over the
+	// last monitoring window.
+	MeanRawUtil float64
+}
+
+// Decision is a Controller's launch plan for one period.
+type Decision struct {
+	// LaunchItems is how many of the period's items to actually process;
+	// the runner clamps it to [0, Items] and counts the difference as
+	// shed work. Ignored when Skip is set.
+	LaunchItems int
+	// Skip suppresses the period's launch entirely — the elastic
+	// period-stretch degradation. The runner counts it.
+	Skip bool
+	// SuppressReplicate swallows the monitor's replication signal for
+	// this period: the controller degraded instead of allocating.
+	SuppressReplicate bool
+	// SuppressShutdown swallows the monitor's shutdown signal: the
+	// controller is still restoring degraded work and wants to keep the
+	// replicas it has.
+	SuppressShutdown bool
+}
+
+// Controller is the optional degrade/recover hook. PlanPeriod runs once
+// per period start of its task, sees the monitor's overload/underload
+// verdict, and returns the launch plan. Implementations must be
+// deterministic: the same PeriodState sequence must yield the same
+// Decision sequence (the conformance suite enforces this per seed).
+type Controller interface {
+	PlanPeriod(st PeriodState) Decision
+}
+
+// DeploymentSeeder is an optional Policy extension: policies with a
+// non-default initial deployment (static-max replicates everything
+// everywhere up front) implement it.
+type DeploymentSeeder interface {
+	// SeedDeployment mutates the freshly built deployment before the
+	// first period. Subtask replicability must be respected.
+	SeedDeployment(env TaskEnv, d *task.Deployment, spec task.Spec) error
+}
+
+// registry is the global name → Policy table. Registration happens in
+// package init (builtins) or test setup; lookups are read-mostly.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Policy{}
+	order    []string
+)
+
+// Register adds a policy under its Name. Registering a duplicate name
+// panics: two strategies answering to one algorithm string would poison
+// every content-addressed cache entry recorded under it.
+func Register(p Policy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := p.Name()
+	if name == "" {
+		panic("policy: registering a policy with an empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	registry[name] = p
+	order = append(order, name)
+}
+
+// Lookup resolves a registered policy by name.
+func Lookup(name string) (Policy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Registered reports whether name resolves to a policy.
+func Registered(name string) bool {
+	_, ok := Lookup(name)
+	return ok
+}
+
+// Names returns every registered policy name in registration order —
+// deterministic, because the built-ins register from a single init and
+// the order is what the tournament grid iterates.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), order...)
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/manager"
+)
+
+// shedPolicy is the imprecise-computation policy after El-Haweet et al.
+// (arXiv:1306.0448): each period's items divide into a mandatory part —
+// processed whatever the load — and an optional part split into
+// priority-ordered chunks. Overload sheds optional chunks, lowest
+// priority first, before any replica is spent; when the overload clears,
+// chunks are restored in the reverse (priority) order before the policy
+// consents to releasing replicas. Only at full shed does the replication
+// signal reach the (predictive) allocator.
+type shedPolicy struct{}
+
+func (shedPolicy) Name() string { return "imprecise-shed" }
+func (shedPolicy) Paper() string {
+	return "imprecise end-to-end scheduling (El-Haweet et al., arXiv:1306.0448)"
+}
+
+// NewAllocator pairs the shed controller with the paper's predictive
+// allocator: once every optional chunk is shed, replication decisions
+// are forecast-driven exactly as in Figure 5.
+func (shedPolicy) NewAllocator(env TaskEnv) (manager.Allocator, error) {
+	return manager.NewPredictive(env.Exec, env.Comm)
+}
+
+// NewController implements ControllerMaker.
+func (shedPolicy) NewController(env TaskEnv) Controller {
+	return &shedController{cfg: env.Knobs.Shed.withDefaults()}
+}
+
+// shedController tracks how many optional chunks are currently shed.
+type shedController struct {
+	cfg   ShedConfig
+	level int // shed chunks ∈ [0, cfg.Levels]
+}
+
+// PlanPeriod implements Controller.
+func (sc *shedController) PlanPeriod(st PeriodState) Decision {
+	var d Decision
+	switch {
+	case st.Overloaded && sc.level < sc.cfg.Levels:
+		// Degrade: shed the next-lowest-priority optional chunk and
+		// consume the replication signal — imprecise results are the
+		// cheaper lever while optional work remains.
+		sc.level++
+		d.SuppressReplicate = true
+	case !st.Overloaded && sc.level > 0:
+		// Recover: restore the highest-priority shed chunk. Until the
+		// result is precise again, high slack only reflects the thinned
+		// load, so shutdowns stay suppressed.
+		sc.level--
+		d.SuppressShutdown = true
+	}
+	d.LaunchItems = ShedPlan(st.Items, sc.cfg, sc.level)
+	return d
+}
+
+// Level exposes the current shed depth for tests and diagnostics.
+func (sc *shedController) Level() int { return sc.level }
+
+// MandatoryItems returns the mandatory part of a period's items under
+// the configured fraction: ⌈fraction·items⌉, at least one for any
+// non-empty period, never more than the period holds. This part is never
+// shed.
+func MandatoryItems(items int, cfg ShedConfig) int {
+	cfg = cfg.withDefaults()
+	if items <= 0 {
+		return 0
+	}
+	m := int(math.Ceil(cfg.MandatoryFraction * float64(items)))
+	if m < 1 {
+		m = 1
+	}
+	if m > items {
+		m = items
+	}
+	return m
+}
+
+// ShedPlan returns how many of a period's items are processed at the
+// given shed level: the mandatory part plus the unshed optional chunks.
+// Level 0 is the precise result (every item); level cfg.Levels is the
+// floor (mandatory only). Chunk boundaries come from integer
+// proportionality, so restoring levels one at a time retraces the exact
+// item counts shedding stepped through — the priority order is inherent.
+func ShedPlan(items int, cfg ShedConfig, level int) int {
+	cfg = cfg.withDefaults()
+	if items <= 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level > cfg.Levels {
+		level = cfg.Levels
+	}
+	mandatory := MandatoryItems(items, cfg)
+	optional := items - mandatory
+	kept := optional - optional*level/cfg.Levels
+	return mandatory + kept
+}

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randShedConfig draws a valid shed configuration, zero half the time so
+// the default-resolution path is exercised as often as explicit knobs.
+func randShedConfig(r *rand.Rand) ShedConfig {
+	if r.IntN(2) == 0 {
+		return ShedConfig{}
+	}
+	return ShedConfig{
+		MandatoryFraction: r.Float64(),
+		Levels:            1 + r.IntN(12),
+	}
+}
+
+// TestShedPlanProperties quick-checks the imprecise-computation plan
+// over random loads: the mandatory part is never shed, the plan never
+// exceeds the period's items, and deepening the level never restores
+// work (monotone shedding).
+func TestShedPlanProperties(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(0x5bed, 1))
+	for i := 0; i < 5000; i++ {
+		cfg := randShedConfig(r)
+		items := r.IntN(20000)
+		levels := cfg.withDefaults().Levels
+		prev := -1
+		for level := levels; level >= 0; level-- {
+			got := ShedPlan(items, cfg, level)
+			mand := MandatoryItems(items, cfg)
+			if got < mand {
+				t.Fatalf("level %d shed into the mandatory part: plan %d < mandatory %d (items %d cfg %+v)",
+					level, got, mand, items, cfg)
+			}
+			if got > items {
+				t.Fatalf("level %d plans %d items of %d available (cfg %+v)", level, got, items, cfg)
+			}
+			if got < prev {
+				t.Fatalf("restoring level %d→%d lost work: %d → %d items (cfg %+v)",
+					level+1, level, prev, got, items)
+			}
+			prev = got
+		}
+		// Level 0 is the precise result; the deepest level is the floor.
+		if items > 0 {
+			if ShedPlan(items, cfg, 0) != items {
+				t.Fatalf("level 0 is not precise: %d of %d items", ShedPlan(items, cfg, 0), items)
+			}
+			if ShedPlan(items, cfg, levels) != MandatoryItems(items, cfg) {
+				t.Fatalf("full shed keeps %d items, want the mandatory %d",
+					ShedPlan(items, cfg, levels), MandatoryItems(items, cfg))
+			}
+		}
+	}
+}
+
+// TestShedRestorePriorityOrder drives the controller through an overload
+// burst and a quiet recovery, asserting that restoration retraces the
+// exact item counts shedding stepped through, in reverse — the
+// highest-priority optional chunk comes back first, and no chunk is
+// skipped.
+func TestShedRestorePriorityOrder(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(0x5bed, 2))
+	for trial := 0; trial < 200; trial++ {
+		cfg := randShedConfig(r).withDefaults()
+		sc := &shedController{cfg: cfg}
+		items := 100 + r.IntN(10000)
+
+		var shedCounts []int
+		for p := 0; sc.Level() < cfg.Levels; p++ {
+			d := sc.PlanPeriod(PeriodState{Period: p, Items: items, Overloaded: true})
+			if !d.SuppressReplicate {
+				t.Fatalf("trial %d: shedding without consuming the replication signal", trial)
+			}
+			shedCounts = append(shedCounts, d.LaunchItems)
+		}
+		if len(shedCounts) != cfg.Levels {
+			t.Fatalf("trial %d: reached the floor in %d steps, want %d", trial, len(shedCounts), cfg.Levels)
+		}
+		if floor := shedCounts[len(shedCounts)-1]; floor != MandatoryItems(items, cfg) {
+			t.Fatalf("trial %d: floor keeps %d items, want mandatory %d", trial, floor, MandatoryItems(items, cfg))
+		}
+
+		for step := 0; sc.Level() > 0; step++ {
+			d := sc.PlanPeriod(PeriodState{Period: 100 + step, Items: items})
+			if !d.SuppressShutdown {
+				t.Fatalf("trial %d: restoring at level %d without suppressing shutdown", trial, sc.Level())
+			}
+			// Restoration step k must land exactly where shedding stood k+1
+			// levels from the floor — the chunks come back in priority order.
+			var want int
+			if idx := len(shedCounts) - 2 - step; idx >= 0 {
+				want = shedCounts[idx]
+			} else {
+				want = items
+			}
+			if d.LaunchItems != want {
+				t.Fatalf("trial %d: restore step %d launches %d items, want %d (shed trajectory %v)",
+					trial, step, d.LaunchItems, want, shedCounts)
+			}
+		}
+		if d := sc.PlanPeriod(PeriodState{Period: 999, Items: items}); d.LaunchItems != items {
+			t.Fatalf("trial %d: precise result not restored: %d of %d items", trial, d.LaunchItems, items)
+		}
+	}
+}
+
+// TestMandatoryItemsEdges pins the clamps: empty periods have no
+// mandatory part, non-empty ones at least one item, and the fraction
+// never rounds past the period.
+func TestMandatoryItemsEdges(t *testing.T) {
+	t.Parallel()
+	if got := MandatoryItems(0, ShedConfig{}); got != 0 {
+		t.Errorf("MandatoryItems(0) = %d, want 0", got)
+	}
+	if got := MandatoryItems(1, ShedConfig{MandatoryFraction: 0.01, Levels: 4}); got != 1 {
+		t.Errorf("tiny fraction of one item = %d, want 1", got)
+	}
+	if got := MandatoryItems(10, ShedConfig{MandatoryFraction: 0.99, Levels: 4}); got != 10 {
+		t.Errorf("0.99 of 10 = %d, want 10 (ceil)", got)
+	}
+}
+
+// FuzzShedPlan asserts the plan never panics and always lands in
+// [mandatory, items] for non-negative loads, for arbitrary knobs.
+func FuzzShedPlan(f *testing.F) {
+	f.Add(1000, 0.5, 4, 2)
+	f.Add(0, 0.0, 0, 0)
+	f.Add(1, 1.0, 1, 5)   // level past the configured depth
+	f.Add(7, 0.3, 12, -3) // negative level
+	f.Add(-50, 0.5, 4, 2) // negative load
+	f.Fuzz(func(t *testing.T, items int, frac float64, levels, level int) {
+		if frac < 0 || frac > 1 || levels < 0 || levels > 1<<16 || items > 1<<30 {
+			t.Skip() // Validate() rejects these knobs at the config boundary
+		}
+		cfg := ShedConfig{MandatoryFraction: frac, Levels: levels}
+		got := ShedPlan(items, cfg, level)
+		if items <= 0 {
+			if got != 0 {
+				t.Fatalf("ShedPlan(%d) = %d, want 0 for empty periods", items, got)
+			}
+			return
+		}
+		mand := MandatoryItems(items, cfg)
+		if got < mand || got > items {
+			t.Fatalf("ShedPlan(%d, %+v, %d) = %d outside [%d, %d]", items, cfg, level, got, mand, items)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randTaskSet draws a random utilization vector for the quick-check
+// properties, occasionally degenerate (empty, zero-util, overloaded far
+// past any bound) to stress the plan's clamps.
+func randTaskSet(r *rand.Rand) []float64 {
+	n := r.IntN(8)
+	utils := make([]float64, n)
+	for i := range utils {
+		switch r.IntN(5) {
+		case 0:
+			utils[i] = 0
+		case 1:
+			utils[i] = 5 * r.Float64() // hopeless overload
+		default:
+			utils[i] = r.Float64()
+		}
+	}
+	return utils
+}
+
+// TestStretchPlanProperties quick-checks the elastic plan over random
+// task sets: factors never leave [1, maxFactor], and whenever the bound
+// admits a schedulable stretching, the planned set is schedulable.
+func TestStretchPlanProperties(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(0x57e7c4, 1))
+	for i := 0; i < 5000; i++ {
+		utils := randTaskSet(r)
+		threshold := r.Float64()
+		maxFactor := 1 + 3*r.Float64()
+		plan := StretchPlan(utils, threshold, maxFactor)
+		if len(plan) != len(utils) {
+			t.Fatalf("plan length %d for %d tasks", len(plan), len(utils))
+		}
+		var total, stretched float64
+		for j, u := range utils {
+			if plan[j] < 1 || plan[j] > maxFactor {
+				t.Fatalf("factor %g outside [1, %g] (utils %v threshold %g)", plan[j], maxFactor, utils, threshold)
+			}
+			if u > 0 {
+				total += u
+				stretched += u / plan[j]
+			}
+		}
+		// Achievability: if stretching every task to the bound reaches the
+		// threshold, the plan must too (within float tolerance).
+		if total/maxFactor <= threshold && stretched > threshold+1e-9 {
+			t.Fatalf("plan leaves utilization %g > threshold %g though %g/%g was achievable (utils %v)",
+				stretched, threshold, total, maxFactor, utils)
+		}
+	}
+}
+
+// TestStretchPlanEdges pins the clamp behavior the quick-check only
+// samples: schedulable sets stay unstretched, non-positive thresholds
+// saturate at the bound, and sub-1 bounds are lifted to 1.
+func TestStretchPlanEdges(t *testing.T) {
+	t.Parallel()
+	if got := StretchPlan([]float64{0.2, 0.3}, 0.8, 2)[0]; got != 1 {
+		t.Errorf("schedulable set stretched to %g, want 1", got)
+	}
+	if got := StretchPlan([]float64{0.5}, 0, 2)[0]; got != 2 {
+		t.Errorf("threshold 0 stretched to %g, want the bound 2", got)
+	}
+	if got := StretchPlan([]float64{3}, 0.5, 0.25)[0]; got != 1 {
+		t.Errorf("maxFactor<1 produced %g, want clamp to 1", got)
+	}
+	if got := StretchPlan(nil, 0.5, 2); len(got) != 0 {
+		t.Errorf("empty task set produced %v", got)
+	}
+}
+
+// TestStretchControllerBounds drives the controller through random
+// overload sequences and asserts the elastic invariants: the factor
+// never leaves [1, MaxFactor], and over any run of n periods the number
+// of launches is at least ⌊n/MaxFactor⌋−1 — the period never silently
+// stretches past its bound.
+func TestStretchControllerBounds(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(0x57e7c5, 2))
+	for trial := 0; trial < 200; trial++ {
+		cfg := StretchConfig{
+			MaxFactor:  1 + 2.5*r.Float64(),
+			Step:       0.05 + 0.4*r.Float64(),
+			UtilTarget: 0.3 + 0.6*r.Float64(),
+		}
+		sc := &stretchController{cfg: cfg.withDefaults(), factor: 1}
+		n := 50 + r.IntN(200)
+		launches := 0
+		for p := 0; p < n; p++ {
+			st := PeriodState{
+				Period:      p,
+				Items:       1000,
+				Overloaded:  r.IntN(2) == 0,
+				MeanRawUtil: 2 * r.Float64(),
+			}
+			d := sc.PlanPeriod(st)
+			if f := sc.Factor(); f < 1 || f > cfg.MaxFactor+1e-9 {
+				t.Fatalf("trial %d: factor %g outside [1, %g]", trial, f, cfg.MaxFactor)
+			}
+			if !d.Skip {
+				launches++
+				if d.LaunchItems != st.Items {
+					t.Fatalf("trial %d: stretch altered launch items %d → %d", trial, st.Items, d.LaunchItems)
+				}
+			}
+		}
+		if min := int(math.Floor(float64(n)/cfg.MaxFactor)) - 1; launches < min {
+			t.Fatalf("trial %d: %d launches over %d periods, elastic bound %g guarantees ≥ %d",
+				trial, launches, n, cfg.MaxFactor, min)
+		}
+	}
+}
+
+// TestStretchControllerRecovery checks the hysteresis contract: quiet
+// periods walk the factor back to exactly 1, and while un-stretching the
+// controller keeps suppressing shutdowns.
+func TestStretchControllerRecovery(t *testing.T) {
+	t.Parallel()
+	sc := &stretchController{cfg: StretchConfig{}.withDefaults(), factor: 1}
+	for p := 0; p < 20; p++ {
+		sc.PlanPeriod(PeriodState{Period: p, Items: 100, Overloaded: true, MeanRawUtil: 1.5})
+	}
+	if sc.Factor() != DefaultStretchMaxFactor {
+		t.Fatalf("sustained overload stretched to %g, want the bound %g", sc.Factor(), DefaultStretchMaxFactor)
+	}
+	for p := 20; p < 60; p++ {
+		d := sc.PlanPeriod(PeriodState{Period: p, Items: 100})
+		if sc.Factor() > 1 && !d.SuppressShutdown {
+			t.Fatalf("period %d: un-stretching at factor %g without suppressing shutdown", p, sc.Factor())
+		}
+	}
+	if sc.Factor() != 1 {
+		t.Fatalf("quiet run left factor at %g, want 1", sc.Factor())
+	}
+}
+
+// FuzzStretchPlan asserts the plan never panics and always returns
+// bounded, finite factors, whatever the inputs.
+func FuzzStretchPlan(f *testing.F) {
+	f.Add(uint64(1), uint8(4), 0.8, 2.0)
+	f.Add(uint64(2), uint8(0), 0.0, 1.0)   // empty set, degenerate threshold
+	f.Add(uint64(3), uint8(16), -1.0, 0.5) // negative threshold, bound < 1
+	f.Add(uint64(4), uint8(255), 0.01, 64.0)
+	f.Fuzz(func(t *testing.T, seed uint64, count uint8, threshold, maxFactor float64) {
+		if math.IsNaN(threshold) || math.IsNaN(maxFactor) || math.IsInf(maxFactor, 0) {
+			t.Skip()
+		}
+		r := rand.New(rand.NewPCG(seed, 0x57e7))
+		utils := make([]float64, int(count))
+		for i := range utils {
+			utils[i] = 10*r.Float64() - 2 // includes negatives
+		}
+		plan := StretchPlan(utils, threshold, maxFactor)
+		lo := maxFactor
+		if lo < 1 {
+			lo = 1
+		}
+		for i, s := range plan {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("factor %d not finite: %v", i, s)
+			}
+			if s < 1 || s > lo {
+				t.Fatalf("factor %d = %g outside [1, %g]", i, s, lo)
+			}
+		}
+	})
+}

@@ -22,6 +22,10 @@ const (
 	ActionNodeDown     ActionKind = "node-down"
 	ActionNodeUp       ActionKind = "node-up"
 	ActionFailover     ActionKind = "failover"
+	// ActionStretch marks a period launch skipped by the period-stretch
+	// policy; ActionShed marks optional items dropped by imprecise-shed.
+	ActionStretch ActionKind = "stretch-skip"
+	ActionShed    ActionKind = "shed"
 )
 
 // AdaptationEvent is one resource-management action.
