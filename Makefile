@@ -28,12 +28,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine is single-threaded by design, but telemetry's HTTP exposition
-# reads recorder state from handler goroutines, and experiment sweeps fan
+# Each lane engine is single-threaded by design, but the lane-set barrier
+# drives them from a worker pool, telemetry's HTTP exposition reads
+# recorder state from handler goroutines, and experiment sweeps fan
 # simulations across workers — keep the hot paths, their locking, and the
 # sweep cache honest under the race detector.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/... ./internal/policy/...
+	$(GO) test -race ./internal/sim/... ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/... ./internal/policy/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/telemetry/...

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+// The big-topology workload: 8 network segments (lanes) of 8 processors
+// each, loaded with six tasks per segment drawn from two period classes
+// (the Table 1 second, and a half-period class at twice the rate). It is
+// recorded twice — once with the serial lane driver and once with one
+// worker per lane — so bench-diff can gate the parallel speedup.
+const (
+	bigTopologyLanes    = 8
+	bigTopologyPeriods  = 256 // anchor pattern length; sizes the serial op
+	bigTopologyNumTasks = 6 * bigTopologyLanes
+)
+
+// bigTopologyPattern varies demand shape by task index so segments adapt
+// on decorrelated schedules rather than in lockstep. periods is the
+// pattern length: the fast period class gets twice as many so both
+// classes span the same simulated horizon.
+func bigTopologyPattern(i, periods int) workload.Pattern {
+	switch i % 3 {
+	case 0:
+		return workload.NewStep(500, 6000, periods, periods/2)
+	case 1:
+		return workload.NewTriangular(500, 5000, periods, 4)
+	default:
+		return workload.NewConstant(2500, periods)
+	}
+}
+
+func bigTopologySetups() ([]core.TaskSetup, error) {
+	setups := make([]core.TaskSetup, bigTopologyNumTasks)
+	for i := range setups {
+		// Second period class: twice the rate, twice the pattern length.
+		// With nil Homes, task i lands on lane i mod lanes, so every lane
+		// gets three tasks from each class.
+		fast := i >= bigTopologyNumTasks/2
+		periods := bigTopologyPeriods
+		if fast {
+			periods *= 2
+		}
+		s, err := experiment.BenchmarkSetup(bigTopologyPattern(i, periods))
+		if err != nil {
+			return nil, err
+		}
+		s.Spec.Name = fmt.Sprintf("BT%02d", i)
+		if fast {
+			s.Spec.Period /= 2
+			s.Spec.Deadline /= 2
+		}
+		setups[i] = s
+	}
+	return setups, nil
+}
+
+// bigTopologyOp builds the 64-node, 8-lane run with the given worker
+// count. workers=1 is the serial lane driver; workers=bigTopologyLanes
+// is one worker per lane.
+func bigTopologyOp(workers int) (func() error, func(), error) {
+	cfg := core.DefaultConfig()
+	cfg.NumNodes = bigTopologyLanes * 8
+	cfg.Lanes = bigTopologyLanes
+	cfg.Parallel = workers
+	setups, err := bigTopologySetups()
+	if err != nil {
+		return nil, nil, err
+	}
+	return func() error {
+		_, err := core.Run(cfg, core.Predictive, setups)
+		return err
+	}, nil, nil
+}
+
+// spinSink defeats dead-code elimination of the capacity spin loops.
+var spinSink uint64
+
+func spinWork(n int) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// measureParallelCapacity runs an embarrassingly parallel spin load at
+// GOMAXPROCS≥4 and reports serial wall / parallel wall — the host's real
+// capacity to run four goroutines at once. runtime.NumCPU is useless for
+// this inside containers (it reads the cgroup's view, which is often 1
+// while the scheduler happily runs on more cores), so we measure.
+func measureParallelCapacity() float64 {
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	const shards = 4
+	const iters = 30_000_000
+	spinSink += spinWork(iters) // warm up the loop and the scheduler
+
+	start := time.Now()
+	for s := 0; s < shards; s++ {
+		spinSink += spinWork(iters)
+	}
+	serial := time.Since(start)
+
+	results := make([]uint64, shards)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = spinWork(iters)
+		}(s)
+	}
+	wg.Wait()
+	parallel := time.Since(start)
+	for _, r := range results {
+		spinSink += r
+	}
+	if parallel <= 0 {
+		return 1
+	}
+	return float64(serial) / float64(parallel)
+}

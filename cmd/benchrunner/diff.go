@@ -66,6 +66,9 @@ func runDiff(basePath, candPath string, threshold float64, reportPath string) (b
 	for name := range baseByName {
 		fmt.Fprintf(&rep, "%-20s %6s  workload present in baseline but missing from candidate\n", name, "?")
 	}
+	if !checkLaneSpeedup(&rep, cand) {
+		pass = false
+	}
 	if pass {
 		rep.WriteString("\nresult: PASS — no gated workload regressed past the threshold\n")
 	} else {
@@ -79,6 +82,44 @@ func runDiff(basePath, candPath string, threshold float64, reportPath string) (b
 		}
 	}
 	return pass, nil
+}
+
+// Lane speedup gate: the parallel big-topology workload must beat its
+// serial twin by at least this wall-min ratio — the point of the sharded
+// simulation core. The gate only binds when the candidate was recorded
+// on a host with real parallel capacity (≥ minGateCapacity on the spin
+// test) at GOMAXPROCS ≥ 4; a one-core CI runner reports the ratio but
+// cannot meaningfully fail it.
+const (
+	laneSerialWorkload   = "big-topology-serial"
+	laneParallelWorkload = "big-topology-parallel"
+	minLaneSpeedup       = 1.7
+	minGateCapacity      = 3.0
+)
+
+func checkLaneSpeedup(rep *strings.Builder, cand snapshot) bool {
+	byName := make(map[string]workloadRecord, len(cand.Workloads))
+	for _, w := range cand.Workloads {
+		byName[w.Name] = w
+	}
+	s, okS := byName[laneSerialWorkload]
+	p, okP := byName[laneParallelWorkload]
+	if !okS || !okP {
+		return true // lane pair not recorded; nothing to gate
+	}
+	ratio := float64(s.WallMinNs) / float64(p.WallMinNs)
+	binding := cand.ParallelCapacity >= minGateCapacity && p.GOMAXPROCS >= 4
+	fmt.Fprintf(rep, "\nlane speedup: serial %v / parallel %v = %.2f× (need ≥ %.1f×; host capacity %.2f×, GOMAXPROCS %d)\n",
+		time.Duration(s.WallMinNs), time.Duration(p.WallMinNs), ratio, minLaneSpeedup, cand.ParallelCapacity, p.GOMAXPROCS)
+	if !binding {
+		rep.WriteString("lane speedup: not binding — recording host lacks parallel capacity\n")
+		return true
+	}
+	if ratio < minLaneSpeedup {
+		fmt.Fprintf(rep, "lane speedup: FAIL — parallel driver below the %.1f× bar\n", minLaneSpeedup)
+		return false
+	}
+	return true
 }
 
 func readSnapshot(path string) (snapshot, error) {

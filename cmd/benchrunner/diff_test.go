@@ -68,6 +68,63 @@ func TestDiffGate(t *testing.T) {
 	}
 }
 
+// writeSnapCap is writeSnap with an explicit host parallel capacity.
+func writeSnapCap(t *testing.T, dir, name string, capacity float64, workloads []workloadRecord) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(snapshot{
+		Schema: snapshotSchema, Recorded: "test", Iterations: 1,
+		ParallelCapacity: capacity, Workloads: workloads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffLaneSpeedupGate pins the lane-speedup gate: the big-topology
+// serial/parallel ratio must clear minLaneSpeedup, but only binds when
+// the candidate host measured real parallel capacity at GOMAXPROCS ≥ 4.
+func TestDiffLaneSpeedupGate(t *testing.T) {
+	dir := t.TempDir()
+	pair := func(serial, parallel int64, gomaxprocs int) []workloadRecord {
+		return []workloadRecord{
+			{Name: laneSerialWorkload, Gated: true, WallMinNs: serial, GOMAXPROCS: gomaxprocs, Lanes: 8, Workers: 1},
+			{Name: laneParallelWorkload, Gated: true, WallMinNs: parallel, GOMAXPROCS: gomaxprocs, Lanes: 8, Workers: 8},
+		}
+	}
+	base := writeSnapCap(t, dir, "base.json", 4, pair(1000, 500, 4))
+
+	// Capable host, ratio 2.0× ≥ 1.7×: pass.
+	good := writeSnapCap(t, dir, "good.json", 4, pair(1000, 500, 4))
+	if pass, err := runDiff(base, good, 100, ""); err != nil || !pass {
+		t.Fatalf("2.0× on a capable host must pass, got pass=%v err=%v", pass, err)
+	}
+	// Capable host, ratio 1.25× < 1.7×: fail.
+	slow := writeSnapCap(t, dir, "slow.json", 4, pair(1000, 800, 4))
+	if pass, err := runDiff(base, slow, 100, ""); err != nil || pass {
+		t.Fatalf("1.25× on a capable host must fail the gate, got pass=%v err=%v", pass, err)
+	}
+	// One-core host (capacity 1.0): same poor ratio is informational.
+	onecore := writeSnapCap(t, dir, "onecore.json", 1, pair(1000, 800, 4))
+	report := filepath.Join(dir, "report.txt")
+	if pass, err := runDiff(base, onecore, 100, report); err != nil || !pass {
+		t.Fatalf("a host without parallel capacity must not gate, got pass=%v err=%v", pass, err)
+	}
+	text, _ := os.ReadFile(report)
+	if !strings.Contains(string(text), "not binding") {
+		t.Errorf("report must say the gate is not binding:\n%s", text)
+	}
+	// GOMAXPROCS < 4 at record time: not binding either.
+	lowprocs := writeSnapCap(t, dir, "lowprocs.json", 4, pair(1000, 800, 2))
+	if pass, err := runDiff(base, lowprocs, 100, ""); err != nil || !pass {
+		t.Fatalf("GOMAXPROCS<4 must not gate, got pass=%v err=%v", pass, err)
+	}
+}
+
 // TestReadSnapshotValidation pins schema and emptiness checks.
 func TestReadSnapshotValidation(t *testing.T) {
 	dir := t.TempDir()

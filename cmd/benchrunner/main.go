@@ -1,9 +1,13 @@
 // Command benchrunner is the continuous perf harness: it executes named
 // wall-clock workloads end to end — the Table 1 canary run, the fig9-13
-// sweep suite cold and warm, the chaos experiment, and an in-process
-// rmserved round-trip — recording per-op wall, CPU, and allocation
-// figures plus the overhead of running the same workload under pprof
-// CPU+heap profiling, and writes the snapshot to BENCH_3.json.
+// sweep suite cold and warm, the chaos experiment, the big-topology
+// lane run (serial and parallel), and an in-process rmserved
+// round-trip — recording per-op wall, CPU, and allocation figures plus
+// the overhead of running the same workload under pprof CPU+heap
+// profiling, and writes the snapshot to BENCH_3.json. Each snapshot
+// also records the host's measured parallel capacity and each
+// workload's GOMAXPROCS, so the -diff lane-speedup gate knows whether
+// a ratio recorded on this host is meaningful.
 //
 // Usage:
 //

@@ -47,6 +47,14 @@ type workloadRecord struct {
 	// overhead percentage is mean-vs-mean; small negatives are noise.
 	ProfiledWallMeanNs  int64    `json:"profiled_wall_mean_ns,omitempty"`
 	ProfilerOverheadPct *float64 `json:"profiler_overhead_pct,omitempty"`
+
+	// Parallelism conditions in effect for the timed ops. GOMAXPROCS is
+	// always recorded; Lanes and Workers only for lane-partitioned
+	// workloads. bench-diff uses these to decide whether a speedup ratio
+	// is meaningful on the recording host.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Lanes      int `json:"lanes,omitempty"`
+	Workers    int `json:"workers,omitempty"`
 }
 
 // snapshot is the BENCH_3.json document.
@@ -55,7 +63,13 @@ type snapshot struct {
 	Recorded   string           `json:"recorded"`
 	GoVersion  string           `json:"go"`
 	Iterations int              `json:"iterations"`
-	Workloads  []workloadRecord `json:"workloads"`
+	// ParallelCapacity is the host's measured speedup on an embarrassingly
+	// parallel spin load at GOMAXPROCS=4 (serial wall / parallel wall).
+	// Containers often report NumCPU=1 while scheduling onto more cores,
+	// so this is measured, not read from the runtime; bench-diff only
+	// enforces parallel-vs-serial speedup gates when it is high enough.
+	ParallelCapacity float64          `json:"parallel_capacity"`
+	Workloads        []workloadRecord `json:"workloads"`
 }
 
 // runRecord measures every selected workload and writes the snapshot.
@@ -68,11 +82,13 @@ func runRecord(out string, names []string, iters int, profile bool) error {
 		return err
 	}
 	snap := snapshot{
-		Schema:     snapshotSchema,
-		Recorded:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		Iterations: iters,
+		Schema:           snapshotSchema,
+		Recorded:         time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		Iterations:       iters,
+		ParallelCapacity: measureParallelCapacity(),
 	}
+	fmt.Fprintf(os.Stderr, "host parallel capacity %.2f× (spin test at GOMAXPROCS=4)\n", snap.ParallelCapacity)
 	for _, b := range selected {
 		rec, err := measureWorkload(b, iters, profile)
 		if err != nil {
@@ -102,6 +118,13 @@ func runRecord(out string, names []string, iters int, profile bool) error {
 // then iters timed ops — and, when profiling, iters more with pprof
 // CPU+heap collection active to measure the profilers' cost.
 func measureWorkload(b bench, iters int, profile bool) (workloadRecord, error) {
+	if b.needGOMAXPROCS > 0 && runtime.GOMAXPROCS(0) < b.needGOMAXPROCS {
+		// Containerized hosts often report NumCPU=1 while offering more
+		// parallel capacity; the lane workloads need real scheduler
+		// threads to mean anything. Restored after the workload.
+		prev := runtime.GOMAXPROCS(b.needGOMAXPROCS)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	op, cleanup, err := b.prep()
 	if err != nil {
 		return workloadRecord{}, err
@@ -192,7 +215,10 @@ func timeOps(b bench, op func() error, iters int, heapProfile bool) ([]opRecord,
 
 // summarize folds per-op records into the workload summary.
 func summarize(b bench, ops []opRecord) workloadRecord {
-	rec := workloadRecord{Name: b.name, Gated: b.gated, Desc: b.desc, Ops: ops}
+	rec := workloadRecord{
+		Name: b.name, Gated: b.gated, Desc: b.desc, Ops: ops,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Lanes: b.lanes, Workers: b.workers,
+	}
 	walls := make([]int64, len(ops))
 	var wallSum, cpuSum int64
 	var allocSum, byteSum uint64

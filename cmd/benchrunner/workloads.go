@@ -31,6 +31,16 @@ type bench struct {
 	reps  int
 	preOp func()
 	prep  func() (op func() error, cleanup func(), err error)
+
+	// Parallelism conditions, recorded into the workload's snapshot
+	// metadata so bench-diff reports are unambiguous about them.
+	// needGOMAXPROCS, when > 0, raises GOMAXPROCS to at least that for
+	// the timed ops (restored afterwards) — containerized hosts often
+	// report NumCPU=1 while offering more parallel capacity, and the
+	// lane workloads are meaningless at one scheduler thread.
+	lanes          int
+	workers        int
+	needGOMAXPROCS int
 }
 
 // figSuiteIDs is the sweep suite shared by the cold and warm workloads:
@@ -139,6 +149,24 @@ func benches() []bench {
 					return out.Render(io.Discard)
 				}, nil, nil
 			},
+		},
+		{
+			name:           "big-topology-serial",
+			gated:          true,
+			desc:           "8-segment × 8-processor lane run (16 tasks, two periods), serial lane driver",
+			lanes:          bigTopologyLanes,
+			workers:        1,
+			needGOMAXPROCS: 4, // same scheduler state as the parallel twin
+			prep:           func() (func() error, func(), error) { return bigTopologyOp(1) },
+		},
+		{
+			name:           "big-topology-parallel",
+			gated:          true,
+			desc:           "8-segment × 8-processor lane run (16 tasks, two periods), one worker per lane",
+			lanes:          bigTopologyLanes,
+			workers:        bigTopologyLanes,
+			needGOMAXPROCS: 4,
+			prep:           func() (func() error, func(), error) { return bigTopologyOp(bigTopologyLanes) },
 		},
 		{
 			name:  "rmserved-roundtrip",

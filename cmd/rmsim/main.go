@@ -45,6 +45,8 @@ func main() {
 		min      = flag.Int("min", 500, "minimum workload (tracks per period)")
 		max      = flag.Int("max", 12000, "maximum workload (tracks per period)")
 		periods  = flag.Int("periods", 120, "number of periods to simulate")
+		lanes    = flag.Int("lanes", 0, "partition the run into this many network segments (lanes): scales the cluster to lanes×6 nodes with one task copy per lane; < 2 = the classic single-segment run")
+		parallel = flag.Int("parallel", 0, "lane workers: 0 = one per CPU, 1 = serial lane driver, N = worker pool (results are byte-identical for every value; needs -lanes ≥ 2)")
 		seed     = cliflag.Seed(flag.CommandLine, 1)
 		traceOut = flag.String("trace", "", "write the per-period trace CSV to this file")
 		events   = flag.Bool("events", false, "print every adaptation event")
@@ -139,12 +141,29 @@ func main() {
 	if *telOut != "" || *chrome != "" || *httpAddr != "" {
 		cfg.Telemetry = telemetry.New(telemetry.DefaultConfig())
 	}
+	setups := []core.TaskSetup{setup}
+	if *lanes >= 2 {
+		if cfg.Telemetry.Enabled() {
+			fatal(fmt.Errorf("-lanes %d cannot be combined with telemetry outputs (per-lane recorders cannot be merged)", *lanes))
+		}
+		// One segment of the default size per lane, each running its own
+		// copy of the task (nil Homes sends copy l to lane l).
+		cfg.NumNodes *= *lanes
+		cfg.Lanes = *lanes
+		cfg.Parallel = *parallel
+		setups = make([]core.TaskSetup, *lanes)
+		for l := range setups {
+			s := setup
+			s.Spec.Name = fmt.Sprintf("%s-L%d", setup.Spec.Name, l)
+			setups[l] = s
+		}
+	}
 	// Validate at the CLI boundary so a misconfigured run reports every
 	// invalid field at once instead of failing on the first.
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	res, err := core.Run(cfg, alg, []core.TaskSetup{setup})
+	res, err := core.Run(cfg, alg, setups)
 	if err != nil {
 		fatal(err)
 	}
@@ -152,6 +171,11 @@ func main() {
 	m := res.Metrics
 	fmt.Printf("algorithm        %s\n", alg)
 	fmt.Printf("pattern          %s over %d periods\n", p.Name(), p.Periods())
+	if cfg.Lanes >= 2 {
+		// Deliberately silent about -parallel: worker count is execution
+		// strategy, and the output must be byte-identical for every value.
+		fmt.Printf("lanes            %d × %d nodes\n", cfg.Lanes, cfg.NumNodes/cfg.Lanes)
+	}
 	fmt.Printf("completed        %d/%d instances\n", m.Completed, m.Periods)
 	fmt.Printf("missed deadlines %d (%.2f%%)\n", m.Missed, m.MissedPct())
 	fmt.Printf("mean CPU util    %.2f%%\n", m.CPUUtilPct())

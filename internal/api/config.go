@@ -26,6 +26,11 @@ type Config struct {
 	WarmupDemandNS  int64   `json:"warmup_demand_ns"`
 	OverlapFraction float64 `json:"overlap_fraction"`
 	Seed            uint64  `json:"seed"`
+	// Lanes partitions the system into equal network segments simulated
+	// on independent event lanes; Parallel is the worker count driving
+	// them (results are byte-identical for every value). See core.Config.
+	Lanes    int `json:"lanes,omitempty"`
+	Parallel int `json:"parallel,omitempty"`
 
 	Network NetworkConfig `json:"network"`
 	Monitor MonitorConfig `json:"monitor"`
@@ -130,6 +135,8 @@ func ConfigFromCore(c core.Config) Config {
 		WarmupDemandNS:  int64(c.WarmupDemand),
 		OverlapFraction: c.OverlapFraction,
 		Seed:            c.Seed,
+		Lanes:           c.Lanes,
+		Parallel:        c.Parallel,
 
 		ClockSync:            c.ClockSync,
 		ClockDriftPPM:        c.ClockDriftPPM,
@@ -206,6 +213,8 @@ func (c Config) ToCore() (core.Config, error) {
 		WarmupDemand:    sim.Time(c.WarmupDemandNS),
 		OverlapFraction: c.OverlapFraction,
 		Seed:            c.Seed,
+		Lanes:           c.Lanes,
+		Parallel:        c.Parallel,
 
 		ClockSync:          c.ClockSync,
 		ClockDriftPPM:      c.ClockDriftPPM,

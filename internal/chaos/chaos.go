@@ -124,18 +124,40 @@ func Compile(cfg Config, numNodes int, horizon sim.Time, seed uint64) Schedule {
 		}
 	}
 	if cfg.PartitionMTBF > 0 {
-		r := sim.NewRand(seed, 0xc4a05_b00f)
-		t := expTime(r, cfg.PartitionMTBF)
-		for t < horizon {
-			d := expTime(r, cfg.PartitionMTTR)
-			if d < minRepair {
-				d = minRepair
-			}
-			s.Partitions = append(s.Partitions, Window{Start: t, End: t + d})
-			t += d + expTime(r, cfg.PartitionMTBF)
-		}
+		s.Partitions = compilePartitions(cfg, horizon, sim.NewRand(seed, 0xc4a05_b00f))
 	}
 	return s
+}
+
+// compilePartitions draws the transient-partition windows from one RNG
+// stream.
+func compilePartitions(cfg Config, horizon sim.Time, r *rand.Rand) []Window {
+	var wins []Window
+	t := expTime(r, cfg.PartitionMTBF)
+	for t < horizon {
+		d := expTime(r, cfg.PartitionMTTR)
+		if d < minRepair {
+			d = minRepair
+		}
+		wins = append(wins, Window{Start: t, End: t + d})
+		t += d + expTime(r, cfg.PartitionMTBF)
+	}
+	return wins
+}
+
+// LanePartitions compiles the transient-partition process for one lane's
+// segment of a lane-partitioned run. Each lane draws from its own RNG
+// stream — the shared partition stream salted with the lane index — so
+// segment outages are independent across lanes and one lane's timeline
+// does not shift when the lane count changes. Node faults have no lane
+// variant: their streams are already keyed by node (Compile), so the
+// embedding system compiles them globally and filters by home segment.
+func LanePartitions(cfg Config, horizon sim.Time, seed uint64, lane int) []Window {
+	if cfg.PartitionMTBF <= 0 || horizon <= 0 {
+		return nil
+	}
+	r := sim.NewRand(seed, 0xc4a05_b00f+(uint64(lane)+1)<<32)
+	return compilePartitions(cfg, horizon, r)
 }
 
 // enforceMaxDown sweeps the time-sorted fault list and drops any crash

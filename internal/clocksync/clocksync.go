@@ -13,6 +13,7 @@ package clocksync
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -75,6 +76,10 @@ type Synchronizer struct {
 	serverNode int
 	server     *Clock
 	clients    map[int]*Clock
+	// order fixes the exchange sequence: map iteration is randomized per
+	// process, which would make the shared segment's FIFO order — and so
+	// the whole run — irreproducible.
+	order []int
 
 	rounds  uint64
 	running bool
@@ -106,6 +111,12 @@ func (s *Synchronizer) AddClient(node int, c *Clock) {
 	if node == s.serverNode {
 		panic("clocksync: server node registered as client")
 	}
+	if _, dup := s.clients[node]; !dup {
+		i := sort.SearchInts(s.order, node)
+		s.order = append(s.order, 0)
+		copy(s.order[i+1:], s.order[i:])
+		s.order[i] = node
+	}
 	s.clients[node] = c
 }
 
@@ -128,8 +139,8 @@ func (s *Synchronizer) tick() {
 	if !s.running {
 		return
 	}
-	for node, clock := range s.clients {
-		s.exchange(node, clock)
+	for _, node := range s.order {
+		s.exchange(node, s.clients[node])
 	}
 	s.eng.After(s.period, func() { s.tick() })
 }

@@ -106,6 +106,22 @@ type Config struct {
 	// Seed drives all randomness in the run.
 	Seed uint64
 
+	// Lanes ≥ 2 partitions the system into that many equal network
+	// segments ("lanes"): lane l owns nodes [l·NumNodes/Lanes,
+	// (l+1)·NumNodes/Lanes) with a segment of its own, tasks are confined
+	// to one lane each (nil Homes sends task i to lane i mod Lanes), and
+	// the lanes exchange per-segment workload reports over a fixed-latency
+	// uplink so eq. (5)'s Σ-items input stays global. Requires
+	// NumNodes % Lanes == 0. Lanes ≤ 1 — the default — keeps the
+	// single-segment system on the exact single-threaded code path.
+	Lanes int
+	// Parallel is the worker-goroutine count driving a Lanes ≥ 2 run:
+	// 0 picks one worker per available CPU (capped at Lanes), 1 runs the
+	// lanes serially on one goroutine. Results are byte-identical for
+	// every value — Parallel trades wall-clock only — so it is excluded
+	// from the run fingerprint. No effect when Lanes ≤ 1.
+	Parallel int
+
 	// ClockSync, when enabled, gives every node a drifting local clock,
 	// disciplines the clocks with a Mills-style synchronizer over the
 	// shared segment (§3 item 12 made operational: the NTP traffic rides
@@ -250,6 +266,15 @@ func (c Config) Validate() error {
 	}
 	if c.OverlapFraction < 0 || c.OverlapFraction >= 1 {
 		errs = append(errs, fmt.Errorf("core: overlap fraction %v out of [0,1)", c.OverlapFraction))
+	}
+	if c.Lanes < 0 {
+		errs = append(errs, fmt.Errorf("core: negative lane count %d", c.Lanes))
+	}
+	if c.Parallel < 0 {
+		errs = append(errs, fmt.Errorf("core: negative parallel worker count %d", c.Parallel))
+	}
+	if c.Lanes >= 2 && c.NumNodes%c.Lanes != 0 {
+		errs = append(errs, fmt.Errorf("core: %d lanes must evenly partition %d nodes", c.Lanes, c.NumNodes))
 	}
 	if c.ClockSync {
 		if c.ClockDriftPPM < 0 || c.ClockInitialOffset < 0 {

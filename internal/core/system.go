@@ -58,6 +58,20 @@ type system struct {
 
 	tasks []*runtimeTask
 
+	// maxOffset is the synchronizer's residual clock error, captured when
+	// the tick chain is stopped at pattern end. Zero without ClockSync.
+	maxOffset sim.Time
+
+	// Lane coupling; all zero/nil on a single-segment run. laneID and
+	// laneBase place this segment inside a lane-partitioned run (local
+	// node n is global node laneBase+n), uplink carries the per-segment
+	// workload reports to the other lanes, and remoteItems holds the
+	// latest report received from each lane (own entry stays 0).
+	laneID      int
+	laneBase    int
+	uplink      laneUplink
+	remoteItems []int
+
 	// Free lists for the per-period hot path (see instance.go): replica
 	// job contexts, task message contexts, and fan-out scratch. The engine
 	// is single-threaded, so none of these need locking.
@@ -175,6 +189,12 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 	if len(setups) == 0 {
 		return Result{}, fmt.Errorf("core: no tasks to run")
 	}
+	if cfg.Lanes >= 2 {
+		// Lane-partitioned topology: sharded engines behind the epoch
+		// barrier (see lanes.go). Lanes ≤ 1 keeps the exact
+		// single-threaded path below.
+		return runLanes(ctx, cfg, alg, setups)
+	}
 	// Compile the stochastic chaos processes into the concrete fault and
 	// partition schedule before anything is built. With chaos disabled
 	// this block leaves cfg and faults untouched, so the run is
@@ -196,6 +216,40 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 			cfg.Network.Partitions = wins
 		}
 	}
+	s, err := buildSystem(cfg, alg, setups, sim.NewEngine(), faults)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Run to quiescence: all instances drain once period starts stop.
+	// With a cancellable context, poll it every cancelCheckEvents events;
+	// the done channel of a background context is nil and the stepping
+	// loop is skipped entirely.
+	if ctx.Done() == nil {
+		s.eng.Run()
+	} else {
+	drain:
+		for {
+			for i := 0; i < cancelCheckEvents; i++ {
+				if !s.eng.Step() {
+					break drain
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return s.finish(), nil
+}
+
+// buildSystem assembles one simulated segment on the given engine:
+// processors, meters, telemetry observers, the fault schedule, runtime
+// tasks, pre-scheduled period starts, and the synchronizer stop hook.
+// The caller has validated cfg/alg/setups and resolved the concrete
+// fault schedule. Construction order is load-bearing: it fixes the
+// engine's event sequence numbers, and therefore the run.
+func buildSystem(cfg Config, alg Algorithm, setups []TaskSetup, eng *sim.Engine, faults []Fault) (*system, error) {
 	if cfg.Network.LossSeed == 0 {
 		// Loss draws derive from the run seed unless the caller pinned a
 		// separate stream; irrelevant (no RNG exists) on a reliable segment.
@@ -204,7 +258,7 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 	s := &system{
 		cfg:       cfg,
 		alg:       alg,
-		eng:       sim.NewEngine(),
+		eng:       eng,
 		seg:       nil,
 		rng:       sim.NewRand(cfg.Seed, 0x5eed),
 		collector: metrics.NewCollector(float64(cfg.NumNodes)),
@@ -260,7 +314,7 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 	for _, setup := range setups {
 		rt, err := s.newRuntimeTask(setup)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		s.tasks = append(s.tasks, rt)
 	}
@@ -276,7 +330,6 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 	// Stop the synchronizer's tick chain at the end of the last task's
 	// pattern so the engine can drain, and capture the residual clock
 	// error there.
-	var maxOffset sim.Time
 	if s.sync != nil {
 		var end sim.Time
 		for _, rt := range s.tasks {
@@ -286,39 +339,22 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 		}
 		s.eng.Schedule(end, func() {
 			s.sync.Stop()
-			maxOffset = s.sync.MaxAbsOffset()
+			s.maxOffset = s.sync.MaxAbsOffset()
 		})
 	}
+	return s, nil
+}
 
-	// Run to quiescence: all instances drain once period starts stop.
-	// With a cancellable context, poll it every cancelCheckEvents events;
-	// the done channel of a background context is nil and the stepping
-	// loop is skipped entirely.
-	if ctx.Done() == nil {
-		s.eng.Run()
-	} else {
-	drain:
-		for {
-			for i := 0; i < cancelCheckEvents; i++ {
-				if !s.eng.Step() {
-					break drain
-				}
-			}
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
-		}
-	}
-
+// finish gathers the run result after the engine has drained.
+func (s *system) finish() Result {
 	s.collector.CountDropped(int(s.seg.Dropped()))
-	res := Result{
+	return Result{
 		Metrics:        s.collector.Finish(),
 		Records:        s.log.Records(),
 		Events:         s.log.Events(),
-		MaxClockOffset: maxOffset,
+		MaxClockOffset: s.maxOffset,
 		EventsFired:    s.eng.EventsFired(),
 	}
-	return res, nil
 }
 
 // farPast initializes transition timestamps so zero-time comparisons
@@ -572,12 +608,12 @@ func (s *system) deriveAssignment(rt *runtimeTask, items, totalItems int) (deadl
 	return deadline.AssignEQF(rt.estimateChain(s, items, totalItems), rt.setup.Spec.Deadline)
 }
 
-// totalItems returns Σᵢ ds(Tᵢ, c) as known at adaptation time: every
-// task's workload for its most recently *observed* period (eq. 5's
-// input). Allocation runs before the new period's sensor data arrives, so
-// the freshest available count is one period old — a staleness that only
-// affects the forecast-driven algorithm.
-func (s *system) totalItems() int {
+// localItems returns this segment's share of eq. (5)'s Σᵢ ds(Tᵢ, c) as
+// known at adaptation time: every local task's workload for its most
+// recently *observed* period. Allocation runs before the new period's
+// sensor data arrives, so the freshest available count is one period old
+// — a staleness that only affects the forecast-driven algorithm.
+func (s *system) localItems() int {
 	now := s.eng.Now()
 	total := 0
 	for _, rt := range s.tasks {
@@ -590,10 +626,31 @@ func (s *system) totalItems() int {
 	return total
 }
 
+// totalItems is eq. (5)'s Σᵢ ds(Tᵢ, c) over the whole system: the local
+// share plus, on a lane-partitioned run, the latest workload report
+// received from every other segment (one uplink latency staler than the
+// local share — a manager on one segment learns about the others over
+// the wire).
+func (s *system) totalItems() int {
+	total := s.localItems()
+	for _, r := range s.remoteItems {
+		total += r
+	}
+	return total
+}
+
 // runPeriod fires at each period start: sample, analyze, consult the
 // policy controller, adapt, record, launch.
 func (s *system) runPeriod(rt *runtimeTask, c int) {
 	items := rt.setup.Pattern.Size(c)
+
+	// 0. Lane uplink: at this segment's anchor boundaries — the declared
+	// cross-lane send instants — report the local Σ-items to the other
+	// segments. Fires even for periods a policy later stretches away:
+	// the nominal boundary exists either way.
+	if s.uplink != nil && rt == s.tasks[0] {
+		s.uplink.BroadcastItems(s.laneID, s.localItems())
+	}
 
 	// 1. Sample per-processor other-work utilization over the last
 	// period window.

@@ -21,7 +21,11 @@ import (
 // v3: the allocation policies moved behind the internal/policy registry,
 // core.Config gained the Policy knob section (stretch/shed), and
 // RunOutcome's metrics gained the ShedItems/StretchedPeriods counters.
-const cacheSchema = 3
+//
+// v4: core.Config gained the lane partition (Lanes, which shapes
+// results and enters the fingerprint) and the Parallel worker knob
+// (byte-identical results for every value, excluded below).
+const cacheSchema = 4
 
 // demandProbeSizes are the item counts at which each subtask's demand
 // curve is sampled into the fingerprint. Demand functions are closures,
@@ -40,6 +44,11 @@ var demandProbeSizes = [...]int{100, 1700, 4900}
 func runFingerprint(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) string {
 	var b strings.Builder
 	cfg.Telemetry = nil
+	// The lane *partition* shapes results (Lanes stays in the %#v dump);
+	// the worker count driving the lanes does not — serial and parallel
+	// drivers are byte-identical by construction — so Parallel must not
+	// split the cache.
+	cfg.Parallel = 0
 	// %#v, not %+v: sim.Time's String() rounds to three decimals, so %+v
 	// would alias configs whose durations differ by less than a
 	// microsecond. The Go-syntax form prints the raw int64s.

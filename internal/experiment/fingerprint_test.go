@@ -101,6 +101,11 @@ func TestFingerprintCoversEveryConfigField(t *testing.T) {
 			case reflect.Ptr, reflect.Interface:
 				continue
 			default:
+				if name == "Parallel" {
+					// Worker count: results are byte-identical for every
+					// value, deliberately excluded (checked separately).
+					continue
+				}
 				paths = append(paths, name)
 			}
 		}
@@ -172,6 +177,30 @@ func TestFingerprintExcludesTelemetry(t *testing.T) {
 	with.Telemetry = nil // ScheduledRun forbids non-nil; simulate the field changing identity
 	if runFingerprint(base, core.Predictive, setups) != runFingerprint(with, core.Predictive, setups) {
 		t.Error("telemetry field altered the fingerprint")
+	}
+}
+
+// The parallel worker count trades wall-clock only — lane results are
+// byte-identical for every value — so it must NOT enter the fingerprint,
+// or a sweep recorded serially would never warm-hit a parallel rerun.
+// The lane partition itself, by contrast, shapes results and must split
+// the cache.
+func TestFingerprintExcludesParallelButNotLanes(t *testing.T) {
+	setup, err := BenchmarkSetup(TriangularFactory(4 * WorkloadUnit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setups := []core.TaskSetup{setup}
+	base := core.DefaultConfig()
+	with := base
+	with.Parallel = 8
+	if runFingerprint(base, core.Predictive, setups) != runFingerprint(with, core.Predictive, setups) {
+		t.Error("Parallel altered the fingerprint; serial and parallel runs would not share cache entries")
+	}
+	laned := base
+	laned.Lanes = 2
+	if runFingerprint(base, core.Predictive, setups) == runFingerprint(laned, core.Predictive, setups) {
+		t.Error("Lanes did not alter the fingerprint; partitioned runs would serve single-segment cache entries")
 	}
 }
 

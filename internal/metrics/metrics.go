@@ -173,6 +173,37 @@ func (c *Collector) ObserveRecoveryLatency(ms float64) {
 	c.recoveryObs++
 }
 
+// Absorb folds another collector's accumulated observations into c, as
+// if every one of them had been made against c. Every accumulator is an
+// order-insensitive sum or count (the means come out of Finish), so
+// absorbing the per-lane collectors of a lane-partitioned run yields the
+// same summary regardless of lane order. Max(R) becomes the larger of
+// the two bounds: replication is lane-confined, so no task can exploit
+// more concurrency than its own segment offers.
+func (c *Collector) Absorb(o *Collector) {
+	if o.maxReplicas > c.maxReplicas {
+		c.maxReplicas = o.maxReplicas
+	}
+	c.periods += o.periods
+	c.completed += o.completed
+	c.missed += o.missed
+	c.cpuSum += o.cpuSum
+	c.netSum += o.netSum
+	c.replicaSum += o.replicaSum
+	c.samples += o.samples
+	c.replications += o.replications
+	c.shutdowns += o.shutdowns
+	c.failures += o.failures
+	c.dropped += o.dropped
+	c.retransmits += o.retransmits
+	c.crashes += o.crashes
+	c.recoveries += o.recoveries
+	c.recoverySum += o.recoverySum
+	c.recoveryObs += o.recoveryObs
+	c.shedItems += o.shedItems
+	c.stretchedPeriods += o.stretchedPeriods
+}
+
 // Finish produces the run summary.
 func (c *Collector) Finish() RunMetrics {
 	// Completed > periods is normal in multi-task runs (see MissedPct):

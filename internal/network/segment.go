@@ -66,6 +66,38 @@ type Window struct {
 	Start, End sim.Time
 }
 
+// WireBytes returns the bytes a message of the given payload occupies on
+// the wire, including framing and per-message overhead.
+func (c Config) WireBytes(payload int64) int64 {
+	if payload < 0 {
+		panic(fmt.Sprintf("network: negative payload %d", payload))
+	}
+	frames := (payload + int64(c.MTU) - 1) / int64(c.MTU)
+	if frames == 0 {
+		frames = 1
+	}
+	return payload + frames*int64(c.FrameOverheadBytes) + int64(c.PerMessageOverheadBytes)
+}
+
+// TxTime returns the pure transmission time for the given payload — the
+// paper's D_trans = d/ls, with framing included.
+func (c Config) TxTime(payload int64) sim.Time {
+	if c.BandwidthBps <= 0 {
+		panic(fmt.Sprintf("network: non-positive bandwidth %d", c.BandwidthBps))
+	}
+	bits := c.WireBytes(payload) * 8
+	return sim.Time(float64(bits) / float64(c.BandwidthBps) * float64(sim.Second))
+}
+
+// CrossLaneDelay returns the fixed delivery latency of one inter-segment
+// message in a lane-partitioned run: transmission time of the payload on
+// an uplink of this segment's speed, plus the local stack cost. No
+// cross-lane message can arrive sooner, which makes this the conservative
+// lookahead of the lane epoch protocol.
+func (c Config) CrossLaneDelay(payload int64) sim.Time {
+	return c.TxTime(payload) + c.LocalDelay
+}
+
 // lossy reports whether any degradation knob needs the RNG.
 func (c Config) lossy() bool {
 	return c.DropProb > 0 || c.JitterAmp > 0 || c.SpikeProb > 0
@@ -254,23 +286,11 @@ func (s *Segment) Config() Config { return s.cfg }
 
 // WireBytes returns the bytes a message of the given payload occupies on
 // the wire, including framing and per-message overhead.
-func (s *Segment) WireBytes(payload int64) int64 {
-	if payload < 0 {
-		panic(fmt.Sprintf("network: negative payload %d", payload))
-	}
-	frames := (payload + int64(s.cfg.MTU) - 1) / int64(s.cfg.MTU)
-	if frames == 0 {
-		frames = 1
-	}
-	return payload + frames*int64(s.cfg.FrameOverheadBytes) + int64(s.cfg.PerMessageOverheadBytes)
-}
+func (s *Segment) WireBytes(payload int64) int64 { return s.cfg.WireBytes(payload) }
 
 // TxTime returns the pure transmission time for the given payload — the
 // paper's D_trans = d/ls, with framing included.
-func (s *Segment) TxTime(payload int64) sim.Time {
-	bits := s.WireBytes(payload) * 8
-	return sim.Time(float64(bits) / float64(s.cfg.BandwidthBps) * float64(sim.Second))
-}
+func (s *Segment) TxTime(payload int64) sim.Time { return s.cfg.TxTime(payload) }
 
 // Send enqueues a message for delivery. Same-node messages bypass the
 // medium entirely.

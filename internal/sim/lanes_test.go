@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestLaneSetMergeOrderAdversarial floods one destination lane with
+// same-timestamp cross-lane events from every other lane, posted in an
+// order chosen to disagree with the merge order, and checks that
+// delivery follows the deterministic total order (time, source lane,
+// source sequence) — for the serial driver and, repeatedly, for the
+// parallel one (where source lanes execute in nondeterministic wall
+// order).
+func TestLaneSetMergeOrderAdversarial(t *testing.T) {
+	const lanes, dst = 5, 0
+	build := func() (*LaneSet, *[]string) {
+		ls := NewLaneSet(lanes, 10)
+		ls.SetCrossTimes([]Time{0})
+		got := &[]string{}
+		var mu sync.Mutex
+		for src := 1; src < lanes; src++ {
+			src := src
+			ls.Lane(src).Schedule(0, func() {
+				// Post in descending sequence *value* order via the at
+				// tie: everything lands at t=10, so only (src, seq)
+				// separates them. Posting to two timestamps out of
+				// order would panic (lookahead), so adversarialness
+				// comes from same-timestamp pile-up across all lanes.
+				for k := 0; k < 3; k++ {
+					k := k
+					ls.Post(src, dst, 10, func() {
+						mu.Lock()
+						*got = append(*got, fmt.Sprintf("src%d.seq%d", src, k))
+						mu.Unlock()
+					})
+				}
+			})
+		}
+		return ls, got
+	}
+
+	var want []string
+	for src := 1; src < lanes; src++ {
+		for k := 0; k < 3; k++ {
+			want = append(want, fmt.Sprintf("src%d.seq%d", src, k))
+		}
+	}
+
+	for _, workers := range []int{1, lanes} {
+		for round := 0; round < 20; round++ {
+			ls, got := build()
+			if err := ls.Run(workers, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*got, want) {
+				t.Fatalf("workers=%d round=%d: merge order %v, want %v", workers, round, *got, want)
+			}
+			if round == 0 && workers == 1 && ls.CrossEvents() != uint64(len(want)) {
+				t.Fatalf("cross events = %d, want %d", ls.CrossEvents(), len(want))
+			}
+		}
+		if workers == lanes && testing.Short() {
+			break
+		}
+	}
+}
+
+// laneTrace runs a small multi-lane model — per-lane event chains plus
+// cross-lane posts at grid instants — and returns a per-lane execution
+// trace. Identical traces across worker counts is the core guarantee.
+func laneTrace(workers int) [][]string {
+	const lanes = 4
+	const lookahead = Time(7)
+	ls := NewLaneSet(lanes, lookahead)
+	grid := []Time{0, 100, 200, 300}
+	ls.SetCrossTimes(grid)
+
+	traces := make([][]string, lanes)
+	for l := 0; l < lanes; l++ {
+		l := l
+		eng := ls.Lane(l)
+		rng := NewRand(42, uint64(l))
+		// A chain of local events with pseudo-random gaps; at each grid
+		// instant, post a value derived from local state to the other
+		// lanes.
+		var state uint64
+		var chain func()
+		chain = func() {
+			state = state*31 + uint64(eng.Now()) + rng.Uint64()%97
+			traces[l] = append(traces[l], fmt.Sprintf("t=%d s=%d", eng.Now(), state))
+			if eng.Now() < 400 {
+				eng.After(Time(1+rng.Uint64()%40), chain)
+			}
+		}
+		eng.Schedule(Time(l), chain)
+		for _, g := range grid {
+			g := g
+			eng.Schedule(g, func() {
+				v := state
+				for dst := 0; dst < lanes; dst++ {
+					if dst == l {
+						continue
+					}
+					dst := dst
+					ls.Post(l, dst, g+lookahead, func() {
+						// Runs on lane dst: only dst-owned state is touched.
+						traces[dst] = append(traces[dst], fmt.Sprintf("t=%d from%d v=%d", ls.Lane(dst).Now(), l, v))
+					})
+				}
+			})
+		}
+	}
+	if err := ls.Run(workers, nil); err != nil {
+		panic(err)
+	}
+	return traces
+}
+
+// TestLaneSetSerialParallelIdentical cross-checks the serial and
+// parallel drivers event for event.
+func TestLaneSetSerialParallelIdentical(t *testing.T) {
+	want := laneTrace(1)
+	for _, workers := range []int{2, 4} {
+		got := laneTrace(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d traces diverge:\n got %v\nwant %v", workers, got, want)
+		}
+	}
+}
+
+func TestLaneSetGridFreeLookahead(t *testing.T) {
+	// Without a grid the horizon is next-event + lookahead; posts at
+	// exactly the lookahead bound must be legal and delivered.
+	ls := NewLaneSet(2, 5)
+	var got []Time
+	ls.Lane(0).Schedule(3, func() {
+		ls.Post(0, 1, 8, func() { got = append(got, ls.Lane(1).Now()) })
+	})
+	if err := ls.Run(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("delivery times = %v, want [8]", got)
+	}
+}
+
+func TestLaneSetPostValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	ls := NewLaneSet(2, 10)
+	mustPanic("lookahead violation", func() { ls.Post(0, 1, 5, func() {}) })
+	mustPanic("self post", func() { ls.Post(0, 0, 50, func() {}) })
+	mustPanic("bad lane", func() { ls.Post(0, 7, 50, func() {}) })
+	mustPanic("nil fn", func() { ls.Post(0, 1, 50, nil) })
+	mustPanic("unsorted grid", func() { ls.SetCrossTimes([]Time{5, 3}) })
+	mustPanic("zero lanes", func() { NewLaneSet(0, 1) })
+	mustPanic("zero lookahead", func() { NewLaneSet(2, 0) })
+}
+
+// TestLaneSetHorizonBreach: posting off the declared grid with a time
+// inside a later epoch's span is a protocol violation the barrier must
+// catch rather than silently mis-order.
+func TestLaneSetHorizonBreach(t *testing.T) {
+	ls := NewLaneSet(2, 10)
+	ls.SetCrossTimes([]Time{100})
+	// Lane 0 posts from t=0, which is not on the grid; the epoch horizon
+	// is 110, so a delivery at 10 breaches it.
+	ls.Lane(0).Schedule(0, func() { ls.Post(0, 1, 10, func() {}) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on horizon breach")
+		}
+	}()
+	_ = ls.Run(1, nil)
+}
+
+func TestLaneSetPollCancels(t *testing.T) {
+	ls := NewLaneSet(2, 10)
+	for l := 0; l < 2; l++ {
+		eng := ls.Lane(l)
+		var tick func()
+		tick = func() {
+			if eng.Now() < 1_000_000 {
+				eng.After(1, tick)
+			}
+		}
+		eng.Schedule(0, tick)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ls.Run(2, func() error { return ctx.Err() })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestLaneSetDrainEpoch: once the last grid instant passes, the set
+// must finish in one free-running epoch instead of barriering every
+// lookahead interval.
+func TestLaneSetDrainEpoch(t *testing.T) {
+	ls := NewLaneSet(2, 1)
+	ls.SetCrossTimes([]Time{10})
+	for l := 0; l < 2; l++ {
+		eng := ls.Lane(l)
+		var tick func()
+		tick = func() {
+			if eng.Now() < 10_000 {
+				eng.After(1, tick)
+			}
+		}
+		eng.Schedule(11, tick) // strictly after the last send instant
+	}
+	if err := ls.Run(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Epochs() != 1 {
+		t.Fatalf("epochs = %d, want 1 (free drain after the grid)", ls.Epochs())
+	}
+}
