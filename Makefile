@@ -30,11 +30,13 @@ test:
 
 # Each lane engine is single-threaded by design, but the lane-set barrier
 # drives them from a worker pool, telemetry's HTTP exposition reads
-# recorder state from handler goroutines, and experiment sweeps fan
-# simulations across workers — keep the hot paths, their locking, and the
-# sweep cache honest under the race detector.
+# recorder state from handler goroutines, experiment sweeps fan
+# simulations across workers, and the resilience layer (journal, retry,
+# fault injector) is exercised concurrently by the server suites — keep
+# the hot paths, their locking, and the sweep cache honest under the
+# race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/... ./internal/policy/...
+	$(GO) test -race ./internal/sim/... ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/... ./internal/policy/... ./internal/resil/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/telemetry/...

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/cliflag"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/resil"
 )
 
 func main() {
@@ -59,12 +61,31 @@ func main() {
 	if *remote != "" {
 		cl := client.New(*remote)
 		cl.Logger = log
+		// One failed poll must not abort a whole sweep. The client already
+		// retries individual requests; this outer loop handles the daemon
+		// *losing* the job entirely (restart without -data-dir → 404 on
+		// poll) or staying unreachable past the per-request budget, by
+		// resubmitting the run with backoff — submissions are idempotent by
+		// fingerprint, so the worst case is a cache hit on the daemon side.
+		resubmit := resil.Backoff{Attempts: 4, Base: 500 * time.Millisecond, Max: 10 * time.Second}
 		experiment.SetRemoteRunner(func(ctx context.Context, req api.RunRequest) (experiment.RunOutcome, error) {
-			res, err := cl.RunSync(ctx, req)
-			if err != nil {
-				return experiment.RunOutcome{}, err
-			}
-			return experiment.OutcomeFromAPI(res), nil
+			var out experiment.RunOutcome
+			err := resil.Do(ctx, &resubmit, nil, func(attempt int) error {
+				res, err := cl.RunSync(ctx, req)
+				if err != nil {
+					var ae *client.APIError
+					lost := errors.As(err, &ae) && ae.Code == api.CodeNotFound
+					if client.Retryable(err) || lost {
+						log.Warn("remote run lost or daemon unreachable; resubmitting",
+							"attempt", attempt, "error", err.Error())
+						return resil.Transient(err)
+					}
+					return err
+				}
+				out = experiment.OutcomeFromAPI(res)
+				return nil
+			})
+			return out, err
 		})
 		log.Info("remote mode: delegating wire-expressible runs", "daemon", *remote)
 	}

@@ -10,6 +10,9 @@
 //	rmserved -addr 127.0.0.1:0      # pick a free port (printed on stdout)
 //	rmserved -workers 4 -queue 128  # bound concurrency and backpressure
 //	rmserved -cache-dir .rmcache    # persistent cross-restart run cache
+//	rmserved -data-dir /var/rmserved  # durable job journal: restart replays
+//	rmserved -job-timeout 5m        # per-job wall-clock deadline
+//	rmserved -job-retries 5         # attempts per job for transient failures
 //	rmserved -log-format json       # structured logs for a collector
 //	rmserved -pprof                 # mount /debug/pprof/* (opt-in)
 //
@@ -38,19 +41,23 @@ import (
 	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resil"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr      = cliflag.Addr(flag.CommandLine, ":8080")
-		parallel  = cliflag.Parallel(flag.CommandLine)
-		cacheDir  = cliflag.CacheDir(flag.CommandLine)
-		logFormat = cliflag.LogFormat(flag.CommandLine)
-		workers   = flag.Int("workers", 0, "max concurrently executing jobs (0 = NumCPU)")
-		queue     = flag.Int("queue", 64, "max jobs waiting for a worker before submissions get 429")
-		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes runtime internals)")
-		verbose   = flag.Bool("v", false, "log at debug level (per-request start lines)")
+		addr       = cliflag.Addr(flag.CommandLine, ":8080")
+		parallel   = cliflag.Parallel(flag.CommandLine)
+		cacheDir   = cliflag.CacheDir(flag.CommandLine)
+		logFormat  = cliflag.LogFormat(flag.CommandLine)
+		workers    = flag.Int("workers", 0, "max concurrently executing jobs (0 = NumCPU)")
+		queue      = flag.Int("queue", 64, "max jobs waiting for a worker before submissions get 429")
+		dataDir    = flag.String("data-dir", "", "durable state directory: the job journal lives here and, unless -cache-dir overrides, the run cache; a restart replays unfinished jobs")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock deadline; a job past it fails without retry (0 = no deadline)")
+		jobRetries = flag.Int("job-retries", 0, "max attempts per job for transient failures, backoff-spaced (0 = default 3)")
+		pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes runtime internals)")
+		verbose    = flag.Bool("v", false, "log at debug level (per-request start lines)")
 	)
 	flag.Parse()
 
@@ -69,11 +76,17 @@ func main() {
 		QueueDepth:  *queue,
 		Parallelism: *parallel,
 		CacheDir:    *cacheDir,
+		DataDir:     *dataDir,
+		JobTimeout:  *jobTimeout,
+		Retry:       resil.Backoff{Attempts: *jobRetries},
 		Logger:      log,
 		EnablePprof: *pprofFlag,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *dataDir != "" {
+		log.Info("durable job journal enabled", "data_dir", *dataDir)
 	}
 	if *pprofFlag {
 		log.Info("pprof profiling endpoints enabled", "path", "/debug/pprof/")

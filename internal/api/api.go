@@ -252,9 +252,13 @@ type SweepResult struct {
 }
 
 // Job states. Terminal states are done, failed, and cancelled.
+// "retrying" is the backoff window between attempts at a transiently
+// failed job: not terminal, and always followed by running or a
+// terminal state.
 const (
 	JobQueued    = "queued"
 	JobRunning   = "running"
+	JobRetrying  = "retrying"
 	JobDone      = "done"
 	JobFailed    = "failed"
 	JobCancelled = "cancelled"
@@ -269,16 +273,23 @@ func TerminalState(s string) bool {
 // submission response, and each SSE event frame. Exactly one of Run and
 // Sweep is set once the job is done, matching Kind.
 type Job struct {
-	SchemaVersion int          `json:"schema_version"`
-	ID            string       `json:"id"`
-	Kind          string       `json:"kind"` // "run" | "sweep"
-	State         string       `json:"state"`
-	Error         string       `json:"error,omitempty"`
-	CreatedMS     int64        `json:"created_ms"`
-	StartedMS     int64        `json:"started_ms,omitempty"`
-	FinishedMS    int64        `json:"finished_ms,omitempty"`
-	Run           *RunResult   `json:"run,omitempty"`
-	Sweep         *SweepResult `json:"sweep,omitempty"`
+	SchemaVersion int    `json:"schema_version"`
+	ID            string `json:"id"`
+	Kind          string `json:"kind"` // "run" | "sweep"
+	State         string `json:"state"`
+	Error         string `json:"error,omitempty"`
+	// Attempts counts execution attempts so far: 1 on a first run, >1
+	// after transient-failure retries. 0 while still queued.
+	Attempts int `json:"attempts,omitempty"`
+	// Fingerprint is the run's content address (run jobs only): stable
+	// across daemons and restarts, so a client can resubmit the same
+	// spec and correlate the jobs, or find a replayed job after a crash.
+	Fingerprint string       `json:"fingerprint,omitempty"`
+	CreatedMS   int64        `json:"created_ms"`
+	StartedMS   int64        `json:"started_ms,omitempty"`
+	FinishedMS  int64        `json:"finished_ms,omitempty"`
+	Run         *RunResult   `json:"run,omitempty"`
+	Sweep       *SweepResult `json:"sweep,omitempty"`
 }
 
 // SchedulerStats is the wire mirror of experiment.SchedulerCounters.
@@ -334,4 +345,13 @@ const (
 	CodeDraining   = "draining"
 	CodeInternal   = "internal"
 	CodeConflict   = "conflict"
+	// CodeJournal: the durable job journal rejected the submission (disk
+	// trouble); the job was NOT accepted. Served as 503 with Retry-After —
+	// resubmitting the identical request later is safe (idempotent by
+	// fingerprint).
+	CodeJournal = "journal_write_failed"
 )
+
+// RetryAfterHeader carries the server's backoff hint on 429/503
+// rejections, in integral seconds (the HTTP standard header).
+const RetryAfterHeader = "Retry-After"

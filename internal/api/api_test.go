@@ -75,6 +75,14 @@ func goldenDTOs() map[string]any {
 			Error:     "api: unknown sweep pattern \"sawtooth\"",
 			CreatedMS: 1700000000000, StartedMS: 1700000000100, FinishedMS: 1700000000100,
 		},
+		"job_retrying": Job{
+			SchemaVersion: SchemaVersion,
+			ID:            "job-3", Kind: "run", State: JobRetrying,
+			Error:       "transient: injected journal stall",
+			Attempts:    2,
+			Fingerprint: "6b86b273ff34fce19d6b804eff5a3f5747ada4eaa22f1d49c01e52ddb7875b4b",
+			CreatedMS:   1700000000000, StartedMS: 1700000000100,
+		},
 		"stats": Stats{
 			SchemaVersion: SchemaVersion,
 			Scheduler:     SchedulerStats{Requested: 10, Deduped: 2, MemoryHits: 3, DiskHits: 1, Simulated: 3, Cancelled: 1, Remote: 0},
@@ -311,7 +319,7 @@ func TestSweepRequestValidate(t *testing.T) {
 // TestTerminalState pins which states are final.
 func TestTerminalState(t *testing.T) {
 	for state, terminal := range map[string]bool{
-		JobQueued: false, JobRunning: false,
+		JobQueued: false, JobRunning: false, JobRetrying: false,
 		JobDone: true, JobFailed: true, JobCancelled: true,
 	} {
 		if TerminalState(state) != terminal {

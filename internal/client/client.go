@@ -1,9 +1,16 @@
 // Package client is the Go client for the rmserved daemon's v1 API. It
-// depends only on the api wire schema and the obs correlation layer — a
-// client binary never *runs* the simulation engine — and mirrors the
-// endpoint surface one-to-one:
+// depends only on the api wire schema, the obs correlation layer, and
+// the resil resilience vocabulary — a client binary never *runs* the
+// simulation engine — and mirrors the endpoint surface one-to-one:
 // SubmitRun/SubmitSweep, Job/Jobs/Cancel, Events (SSE), Stats, plus the
 // Wait and RunSync conveniences that block until a job settles.
+//
+// Every request retries transparently on transport errors, 429
+// backpressure, and 5xx responses (except an explicit drain refusal),
+// honoring the server's Retry-After hint; resubmitting is safe because
+// run submissions are idempotent by fingerprint. SSE subscriptions
+// reconnect on a dropped stream and resume with Last-Event-ID, so no
+// state transition is delivered twice.
 package client
 
 import (
@@ -11,15 +18,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/obs"
+	"repro/internal/resil"
 )
 
 // Client talks to one rmserved base URL (e.g. "http://127.0.0.1:8080").
@@ -29,9 +39,17 @@ type Client struct {
 	// PollInterval paces the polling fallback in Wait when the SSE stream
 	// is unavailable. Zero means 100ms.
 	PollInterval time.Duration
+	// Retry shapes the backoff between retried requests and SSE
+	// reconnects. The zero value uses the resil defaults (3 attempts,
+	// 100ms base doubling to a 5s cap).
+	Retry resil.Backoff
 	// Logger, when set, logs every request at debug level with its
 	// correlation ID, status, and wall-clock duration.
 	Logger *slog.Logger
+
+	// sleep paces retries; nil means a real context-aware sleep. Tests
+	// substitute a recording fake.
+	sleep resil.Sleeper
 }
 
 // New builds a client for the given base URL using http.DefaultClient.
@@ -51,10 +69,33 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's backoff hint from the Retry-After
+	// header, when one was sent (429 backpressure, 503 journal trouble).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("rmserved: %s (http %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// Retryable reports whether err is worth retrying against the same
+// daemon: transport-level failures (connection refused mid-restart, a
+// torn stream) and 429/5xx responses — except an explicit drain
+// refusal, which is the daemon saying it will not take the work, ever.
+// Context cancellations are never retryable.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		if ae.Code == api.CodeDraining {
+			return false
+		}
+		return ae.Status == http.StatusTooManyRequests || ae.Status >= 500
+	}
+	// Not an API response at all: the network or the stream broke.
+	return true
 }
 
 // requestID picks the correlation ID for one outgoing request: the one
@@ -83,21 +124,58 @@ func (c *Client) logRequest(id, method, path string, status int, start time.Time
 	c.Logger.Debug("rmserved request", attrs...)
 }
 
-// do performs one JSON request/response exchange.
+// sleeper resolves the retry pacer.
+func (c *Client) sleeper() resil.Sleeper {
+	if c.sleep != nil {
+		return c.sleep
+	}
+	return resil.SleepCtx
+}
+
+// do performs one JSON request/response exchange, retrying retryable
+// failures with backoff. The body is marshalled once and replayed from
+// a fresh reader on each attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	sleep := c.sleeper()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.doOnce(ctx, method, path, data, out)
+		if err == nil || !Retryable(err) || attempt >= c.Retry.MaxAttempts() {
+			return err
+		}
+		delay := c.Retry.Delay(attempt)
+		// The server knows its own drain rate better than our schedule.
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			delay = ae.RetryAfter
+		}
+		if c.Logger != nil {
+			c.Logger.Debug("rmserved request retrying", "method", method, "path", path, "attempt", attempt, "delay_ms", delay.Milliseconds(), "error", err.Error())
+		}
+		if serr := sleep(ctx, delay); serr != nil {
+			return err // ctx died mid-backoff; the request's error is the story
+		}
+	}
+}
+
+// doOnce is a single request/response exchange.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, out any) error {
+	var body io.Reader
+	if data != nil {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	id := requestID(ctx)
@@ -120,14 +198,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // decodeError turns a non-2xx response into an *APIError, tolerating
-// non-envelope bodies (proxies, panics).
+// non-envelope bodies (proxies, panics) and capturing any Retry-After
+// hint.
 func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	ae := &APIError{Status: resp.StatusCode, Code: api.CodeInternal, Message: strings.TrimSpace(string(data))}
 	var env api.ErrorEnvelope
 	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
-		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		ae.Code, ae.Message = env.Error.Code, env.Error.Message
 	}
-	return &APIError{Status: resp.StatusCode, Code: api.CodeInternal, Message: strings.TrimSpace(string(data))}
+	if secs, err := strconv.Atoi(resp.Header.Get(api.RetryAfterHeader)); err == nil && secs > 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ae
 }
 
 // SubmitRun submits one simulation and returns the accepted job.
@@ -180,48 +263,88 @@ func (c *Client) Stats(ctx context.Context) (api.Stats, error) {
 }
 
 // Events subscribes to a job's SSE stream, invoking fn for every
-// snapshot until the job reaches a terminal state, the server closes the
-// stream, or ctx is cancelled. Returns the last snapshot observed.
+// snapshot until the job reaches a terminal state or ctx is cancelled.
+// A dropped stream reconnects with backoff, resuming via Last-Event-ID
+// so no snapshot is delivered twice; the retry budget resets whenever a
+// reconnect makes progress. Returns the last snapshot observed.
 func (c *Client) Events(ctx context.Context, id string, fn func(api.Job)) (api.Job, error) {
+	var last api.Job
+	var lastEventID string
+	sleep := c.sleeper()
+	var err error
+	for attempt := 1; ; attempt++ {
+		var progressed bool
+		progressed, err = c.streamEvents(ctx, id, &lastEventID, &last, fn)
+		if err == nil {
+			return last, nil // terminal state observed
+		}
+		if progressed {
+			attempt = 1
+		}
+		if !Retryable(err) || attempt >= c.Retry.MaxAttempts() {
+			return last, err
+		}
+		if c.Logger != nil {
+			c.Logger.Debug("rmserved event stream reconnecting", "job", id, "attempt", attempt, "last_event_id", lastEventID, "error", err.Error())
+		}
+		if serr := sleep(ctx, c.Retry.Delay(attempt)); serr != nil {
+			return last, err
+		}
+	}
+}
+
+// streamEvents holds one SSE connection open, updating *last and
+// *lastEventID per frame. It returns nil when a terminal snapshot
+// arrived, and whether any frame was decoded (progress, for the
+// reconnect budget).
+func (c *Client) streamEvents(ctx context.Context, id string, lastEventID *string, last *api.Job, fn func(api.Job)) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return api.Job{}, err
+		return false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	req.Header.Set(obs.RequestIDHeader, requestID(ctx))
+	if *lastEventID != "" {
+		req.Header.Set("Last-Event-ID", *lastEventID)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return api.Job{}, err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return api.Job{}, decodeError(resp)
+		return false, decodeError(resp)
 	}
-	var last api.Job
+	progressed := false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		if evID, ok := strings.CutPrefix(line, "id: "); ok {
+			*lastEventID = evID
+			continue
+		}
 		data, ok := strings.CutPrefix(line, "data: ")
 		if !ok {
 			continue
 		}
 		var j api.Job
 		if err := json.Unmarshal([]byte(data), &j); err != nil {
-			return last, fmt.Errorf("client: decoding event: %w", err)
+			return progressed, fmt.Errorf("client: decoding event: %w", err)
 		}
-		last = j
+		*last = j
+		progressed = true
 		if fn != nil {
 			fn(j)
 		}
 		if api.TerminalState(j.State) {
-			return last, nil
+			return progressed, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return last, err
+		return progressed, err
 	}
-	return last, io.ErrUnexpectedEOF
+	return progressed, io.ErrUnexpectedEOF
 }
 
 // Wait blocks until the job reaches a terminal state, preferring the SSE

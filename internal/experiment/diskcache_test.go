@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/resil"
 )
 
 func TestDiskCacheRoundTrip(t *testing.T) {
@@ -131,5 +133,88 @@ func TestSchedulerDiskCacheWarmAndCorrupt(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cold, again) {
 		t.Fatal("results after cache corruption differ from the original run")
+	}
+}
+
+// TestDiskCacheQuarantinesCorruptEntries: a corrupt entry degrades to a
+// miss AND is moved aside as .corrupt with the corruption counted, so
+// operators can see bit-rot instead of paying silent re-simulation.
+func TestDiskCacheQuarantinesCorruptEntries(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed []string
+	c.OnCorrupt = func(path string) { observed = append(observed, path) }
+	key := "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+	if err := c.Put(key, RunOutcome{EventsFired: 7}); err != nil {
+		t.Fatal(err)
+	}
+	corruptCacheFiles(t, c.Dir())
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if got := c.CorruptCount(); got != 1 {
+		t.Errorf("CorruptCount = %d, want 1", got)
+	}
+	if len(observed) != 1 {
+		t.Errorf("OnCorrupt fired %d times, want 1", len(observed))
+	}
+	entry := filepath.Join(c.Dir(), key[:2], key+".json")
+	if _, err := os.Stat(entry); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still at %s; want it renamed aside", entry)
+	}
+	if _, err := os.Stat(entry + ".corrupt"); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+
+	// The slot is a clean miss now — no re-quarantine on later reads —
+	// and a rewrite reclaims it.
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit after quarantine")
+	}
+	if got := c.CorruptCount(); got != 1 {
+		t.Errorf("second Get re-counted the same corruption: %d", got)
+	}
+	if err := c.Put(key, RunOutcome{EventsFired: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := c.Get(key); !ok || out.EventsFired != 8 {
+		t.Errorf("rewritten slot: ok=%v out=%+v", ok, out)
+	}
+}
+
+// TestDiskCachePutFailuresAreTransient: injected write failures surface
+// as transient errors (the retry taxonomy) and leave no partial entry.
+func TestDiskCachePutFailuresAreTransient(t *testing.T) {
+	boom := errors.New("injected: disk full")
+	for _, tc := range []struct {
+		name string
+		rule resil.Rule
+	}{
+		{"create", resil.Rule{Op: resil.OpCreate, Err: boom}},
+		{"write", resil.Rule{Op: resil.OpWrite, Err: boom}},
+		{"torn-write", resil.Rule{Op: resil.OpWrite, Err: boom, TornBytes: 5}},
+		{"rename", resil.Rule{Op: resil.OpRename, Err: boom}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := resil.NewInjector(nil).Inject(tc.rule)
+			c, err := OpenDiskCacheFS(t.TempDir(), inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := "cafebabecafebabecafebabecafebabecafebabecafebabecafebabecafebabe"
+			err = c.Put(key, RunOutcome{EventsFired: 1})
+			if !resil.IsTransient(err) {
+				t.Fatalf("Put error %v, want transient", err)
+			}
+			if _, ok := c.Get(key); ok {
+				t.Error("failed Put left a readable entry")
+			}
+			if n := c.Len(); n != 0 {
+				t.Errorf("failed Put left %d entries on disk", n)
+			}
+		})
 	}
 }

@@ -41,6 +41,14 @@ var demandProbeSizes = [...]int{100, 1700, 4900}
 // and, per task, the spec identity, demand-curve probes, placement,
 // workload pattern, and fitted regression models. The hex digest doubles
 // as the scheduler's dedup key and the disk cache's file name.
+// RunKey exposes the run fingerprint: the rmserved daemon stamps it on
+// jobs and journal records so clients can resubmit or poll a run by
+// content address across daemon restarts (at-least-once delivery made
+// idempotent by fingerprint).
+func RunKey(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) string {
+	return runFingerprint(cfg, alg, setups)
+}
+
 func runFingerprint(cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) string {
 	var b strings.Builder
 	cfg.Telemetry = nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/resil"
 	"repro/internal/trace"
 )
 
@@ -340,7 +341,7 @@ func (s *scheduler) execute(e *runEntry, disk *DiskCache, remote RemoteRunner, o
 			return
 		}
 	}
-	out, err := simulate(e.runCtx, e.cfg, e.alg, e.setups)
+	out, err := simulateRecovering(e.runCtx, e.cfg, e.alg, e.setups)
 	if isCancel(err) {
 		s.finish(e, RunOutcome{}, err, cellCancelled, observer, started)
 		return
@@ -352,13 +353,30 @@ func (s *scheduler) execute(e *runEntry, disk *DiskCache, remote RemoteRunner, o
 	s.finish(e, out, err, cellSimulated, observer, started)
 }
 
+// simulateRecovering is the worker pool's panic boundary: a panicking
+// simulation becomes a structured job failure (stack attached) instead
+// of killing the process, and the worker goroutine — having recovered —
+// simply continues its drain loop, which is what "replacing" the worker
+// amounts to in an elastic pool.
+func simulateRecovering(ctx context.Context, cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (out RunOutcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = RunOutcome{}, resil.NewPanicError(r)
+		}
+	}()
+	return simulate(ctx, cfg, alg, setups)
+}
+
 func (s *scheduler) finish(e *runEntry, out RunOutcome, err error, kind string, observer WallObserver, started time.Time) {
 	s.mu.Lock()
 	e.out, e.err = out, err
 	e.finished = true
-	if isCancel(err) && s.entries[e.key] == e {
-		// Never memoize a cancellation: the next identical request must
-		// simulate, not inherit a dead waiter's context error.
+	if (isCancel(err) || resil.IsTransient(err)) && s.entries[e.key] == e {
+		// Never memoize a cancellation or a transient failure: the next
+		// identical request must re-execute — a dead waiter's context
+		// error and an I/O flake are both properties of one attempt, not
+		// of the cell. Deterministic errors stay memoized: the same
+		// config and seed would fail identically, so a retry is waste.
 		delete(s.entries, e.key)
 	}
 	switch kind {
@@ -383,8 +401,36 @@ func (s *scheduler) finish(e *runEntry, out RunOutcome, err error, kind string, 
 	close(e.done)
 }
 
+// simHook, when non-nil, fires before each local simulation with the
+// cell's config and algorithm. It is the service-layer fault harness's
+// seam into the run path: tests inject transient errors (to exercise
+// retry/backoff), deterministic errors (to prove they are never
+// retried), and panics (to exercise worker isolation) without touching
+// the engine. A non-nil error aborts the cell with that error; a panic
+// propagates to the worker's recovery boundary like any engine panic.
+var (
+	simHookMu sync.Mutex
+	simHook   func(cfg core.Config, alg core.Algorithm) error
+)
+
+// SetSimHook installs (or, with nil, removes) the fault-injection hook.
+// Test-only: production binaries never set it.
+func SetSimHook(fn func(cfg core.Config, alg core.Algorithm) error) {
+	simHookMu.Lock()
+	simHook = fn
+	simHookMu.Unlock()
+}
+
 // simulate is the single place experiment code executes core.Run.
 func simulate(ctx context.Context, cfg core.Config, alg core.Algorithm, setups []core.TaskSetup) (RunOutcome, error) {
+	simHookMu.Lock()
+	hook := simHook
+	simHookMu.Unlock()
+	if hook != nil {
+		if err := hook(cfg, alg); err != nil {
+			return RunOutcome{}, err
+		}
+	}
 	res, err := core.RunContext(ctx, cfg, alg, setups)
 	if err != nil {
 		return RunOutcome{}, err

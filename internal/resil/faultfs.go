@@ -1,0 +1,184 @@
+package resil
+
+import (
+	"os"
+	"strings"
+	"sync"
+)
+
+// Filesystem operation names an injection Rule can match. Write and Sync
+// fire on the File handles an injected Create/OpenAppend returned.
+const (
+	OpMkdir  = "mkdir"
+	OpRead   = "read"
+	OpRename = "rename"
+	OpRemove = "remove"
+	OpCreate = "create"
+	OpOpen   = "open"
+	OpWrite  = "write"
+	OpSync   = "sync"
+)
+
+// Rule is one fault to inject: when an operation Op on a path containing
+// Path substring occurs, fire Count times (≤0 = forever). Exactly one of
+// the effects applies per firing:
+//
+//   - Panic: panic with the rule's error (worker-isolation tests);
+//   - TornBytes ≥ 0 on a write: write only the first TornBytes bytes,
+//     then return Err — a torn record, the crash-consistency case;
+//   - otherwise: return Err.
+type Rule struct {
+	Op        string
+	Path      string
+	Count     int
+	Err       error
+	Panic     bool
+	TornBytes int
+
+	fired int
+}
+
+// Injector wraps an FS and fails operations per its rules. It is safe
+// for concurrent use; rules are matched in order and the first live
+// match fires. The zero value is not usable — build with NewInjector.
+type Injector struct {
+	mu    sync.Mutex
+	fs    FS
+	rules []*Rule
+	log   []string // fired "op path" pairs, for assertions
+}
+
+// NewInjector wraps base (nil means the real OS filesystem).
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS()
+	}
+	return &Injector{fs: base}
+}
+
+// Inject adds a rule. Returns the injector for chaining.
+func (in *Injector) Inject(r Rule) *Injector {
+	in.mu.Lock()
+	in.rules = append(in.rules, &r)
+	in.mu.Unlock()
+	return in
+}
+
+// Fired lists every fault that has fired, as "op path" strings.
+func (in *Injector) Fired() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.log...)
+}
+
+// match returns the first live rule for (op, path), consuming one
+// firing, or nil. TornBytes handling is the caller's.
+func (in *Injector) match(op, path string) *Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		in.log = append(in.log, op+" "+path)
+		return r
+	}
+	return nil
+}
+
+// fire applies a matched rule's non-torn effect.
+func fire(r *Rule) error {
+	if r.Panic {
+		panic(r.Err)
+	}
+	return r.Err
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if r := in.match(OpMkdir, path); r != nil {
+		return fire(r)
+	}
+	return in.fs.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if r := in.match(OpRead, path); r != nil {
+		return nil, fire(r)
+	}
+	return in.fs.ReadFile(path)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if r := in.match(OpRename, oldpath); r != nil {
+		return fire(r)
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(path string) error {
+	if r := in.match(OpRemove, path); r != nil {
+		return fire(r)
+	}
+	return in.fs.Remove(path)
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if r := in.match(OpCreate, dir); r != nil {
+		return nil, fire(r)
+	}
+	f, err := in.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+func (in *Injector) OpenAppend(path string) (File, error) {
+	if r := in.match(OpOpen, path); r != nil {
+		return nil, fire(r)
+	}
+	f, err := in.fs.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+// faultFile threads writes and syncs on an injected handle back through
+// the rule table, so torn writes land exactly where a crash would put
+// them: some prefix durable, the rest gone.
+type faultFile struct {
+	in *Injector
+	f  File
+}
+
+func (ff *faultFile) Name() string { return ff.f.Name() }
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if r := ff.in.match(OpWrite, ff.f.Name()); r != nil {
+		if r.Panic {
+			panic(r.Err)
+		}
+		if r.TornBytes > 0 && r.TornBytes < len(p) {
+			n, _ := ff.f.Write(p[:r.TornBytes])
+			return n, r.Err
+		}
+		return 0, r.Err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if r := ff.in.match(OpSync, ff.f.Name()); r != nil {
+		return fire(r)
+	}
+	return ff.f.Sync()
+}

@@ -1,0 +1,49 @@
+package resil
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam the durable layers (disk cache, job journal)
+// write through. It covers exactly the operations those layers use —
+// atomic temp+rename publication and append-only logs — so a fault
+// injector can deterministically fail, tear, or panic any of them in
+// tests while production code runs straight through to the os package.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// CreateTemp opens a fresh temp file in dir (temp+rename hygiene).
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens (creating if needed) a file for appends.
+	OpenAppend(path string) (File, error)
+}
+
+// File is the writable handle an FS hands out.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the production FS backed by the os package.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,230 @@
+// Package resil is the service plane's resilience vocabulary: an error
+// taxonomy (deterministic vs transient, plus recovered panics), capped
+// exponential backoff with jitter, and a context-aware retry loop. It is
+// deliberately tiny and dependency-free so every layer — the run
+// scheduler, the rmserved daemon, the Go client, the CLIs — classifies
+// and retries failures the same way.
+//
+// The taxonomy is the load-bearing part. A deterministic simulation that
+// failed will fail identically on retry (same config, same seed, same
+// code path), so the default classification of every error is
+// *deterministic: fail fast, never retry*. Only errors explicitly marked
+// with Transient — disk-cache I/O, journal writes, queue races, network
+// flakes — are retryable. Recovered panics are their own kind: they are
+// treated as deterministic (a panicking run would panic again) but carry
+// the captured stack so the operator sees where the worker died.
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// TransientError marks an error as worth retrying: the failure came from
+// the environment (I/O, network, contention), not from the work itself.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// Transientf is Transient(fmt.Errorf(...)).
+func Transientf(format string, args ...any) error {
+	return &TransientError{Err: fmt.Errorf(format, args...)}
+}
+
+// IsTransient reports whether err is marked retryable anywhere in its
+// chain. Context cancellations are never transient: the caller gave up,
+// retrying would ignore that.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// PanicError is a panic recovered at a worker boundary, converted into a
+// structured failure so the daemon stays up. It is classified as
+// deterministic — the same job would panic again — and carries the stack
+// captured at the recovery site for the logs.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// NewPanicError builds a PanicError from a recovered value, capturing
+// the current stack. Call it directly inside the deferred recover so the
+// stack still shows the panic site.
+func NewPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// IsPanic reports whether err chains to a recovered panic and returns it.
+func IsPanic(err error) (*PanicError, bool) {
+	var p *PanicError
+	if errors.As(err, &p) {
+		return p, true
+	}
+	return nil, false
+}
+
+// Recover converts a recovered value into an error; use as
+//
+//	defer func() {
+//	    if r := recover(); r != nil { err = resil.NewPanicError(r) }
+//	}()
+//
+// at a worker boundary. Provided as documentation of the idiom more than
+// as code — the deferred closure must call recover itself.
+
+// Backoff is a capped exponential backoff schedule with proportional
+// jitter. The zero value is usable: 100ms base, 5s cap, factor 2, 20%
+// jitter, 3 attempts.
+type Backoff struct {
+	// Base is the first delay; ≤0 means 100ms.
+	Base time.Duration
+	// Max caps every delay; ≤0 means 5s.
+	Max time.Duration
+	// Factor multiplies the delay each attempt; <2 means 2.
+	Factor float64
+	// Jitter is the fraction of the delay randomized away (0.2 = ±20%);
+	// <0 disables, 0 means the 0.2 default.
+	Jitter float64
+	// Attempts bounds total tries (first try included); ≤0 means 3.
+	Attempts int
+
+	// rng overrides the jitter stream (tests inject a fixed seed via
+	// SeedJitter for reproducible schedules); nil uses the package-global
+	// source. A pointer so Backoff stays copyable inside Options structs.
+	rng *lockedRng
+}
+
+// lockedRng serializes a seeded jitter stream; math/rand's global source
+// already locks internally, this mirrors that for injected seeds.
+type lockedRng struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func (l *lockedRng) float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+func (b *Backoff) base() time.Duration { return defDur(b.Base, 100*time.Millisecond) }
+func (b *Backoff) max() time.Duration  { return defDur(b.Max, 5*time.Second) }
+
+func defDur(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
+}
+
+// MaxAttempts returns the resolved attempt bound.
+func (b *Backoff) MaxAttempts() int {
+	if b.Attempts <= 0 {
+		return 3
+	}
+	return b.Attempts
+}
+
+// SeedJitter pins the jitter stream (tests).
+func (b *Backoff) SeedJitter(seed int64) {
+	b.rng = &lockedRng{r: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the backoff before retry number `attempt` (1 = the delay
+// after the first failure): base·factor^(attempt-1), capped at Max, with
+// ±Jitter proportional noise. Always ≥ 1ms so a sleep is observable.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	factor := b.Factor
+	if factor < 2 {
+		factor = 2
+	}
+	d := float64(b.base())
+	maxd := float64(b.max())
+	for i := 1; i < attempt && d < maxd; i++ {
+		d *= factor
+	}
+	if d > maxd {
+		d = maxd
+	}
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 {
+		f := rand.Float64() // the global source locks internally
+		if b.rng != nil {
+			f = b.rng.float64()
+		}
+		// uniform in [1-j, 1+j]
+		d *= 1 - jitter + 2*jitter*f
+	}
+	if d < float64(time.Millisecond) {
+		d = float64(time.Millisecond)
+	}
+	return time.Duration(d)
+}
+
+// Sleeper pauses between retries; tests substitute a recording fake.
+// The function must return early with ctx.Err() when ctx is done.
+type Sleeper func(ctx context.Context, d time.Duration) error
+
+// SleepCtx is the default Sleeper: a timer that loses to ctx.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn until it succeeds, fails deterministically, exhausts the
+// backoff's attempts, or ctx dies. Only errors IsTransient reports
+// retryable are retried; the last error is returned. sleep may be nil
+// (SleepCtx). fn receives the 1-based attempt number.
+func Do(ctx context.Context, b *Backoff, sleep Sleeper, fn func(attempt int) error) error {
+	if sleep == nil {
+		sleep = SleepCtx
+	}
+	maxAttempts := b.MaxAttempts()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = fn(attempt)
+		if err == nil || !IsTransient(err) || attempt >= maxAttempts {
+			return err
+		}
+		if serr := sleep(ctx, b.Delay(attempt)); serr != nil {
+			return err // ctx died mid-backoff; the work's error is the story
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTaxonomy: only explicitly marked errors are transient; context
+// errors never are, even when wrapped as transient by mistake.
+func TestTaxonomy(t *testing.T) {
+	base := errors.New("disk on fire")
+	if IsTransient(base) {
+		t.Error("plain error classified transient; default must be deterministic")
+	}
+	if !IsTransient(Transient(base)) {
+		t.Error("Transient-wrapped error not classified transient")
+	}
+	if !IsTransient(fmt.Errorf("journal: %w", Transient(base))) {
+		t.Error("transient mark lost through fmt.Errorf %%w wrapping")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	if IsTransient(context.Canceled) || IsTransient(Transient(context.Canceled)) {
+		t.Error("context cancellation classified transient")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("Transient breaks errors.Is chains")
+	}
+}
+
+// TestPanicError: recovered panics carry their stack and classify as
+// deterministic (never retried).
+func TestPanicError(t *testing.T) {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = NewPanicError(r)
+			}
+		}()
+		panic("worker exploded")
+	}()
+	p, ok := IsPanic(err)
+	if !ok {
+		t.Fatalf("IsPanic = false for %v", err)
+	}
+	if p.Value != "worker exploded" || len(p.Stack) == 0 {
+		t.Errorf("panic error lost value or stack: %+v", p)
+	}
+	if !strings.Contains(string(p.Stack), "TestPanicError") {
+		t.Errorf("stack does not show the panic site:\n%s", p.Stack)
+	}
+	if IsTransient(err) {
+		t.Error("panic classified transient; a panicking job would panic again")
+	}
+}
+
+// TestBackoffDelaySchedule: delays grow exponentially from Base, cap at
+// Max, and jitter stays within the configured band.
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: time.Second, Jitter: -1}
+	for i, want := range []time.Duration{100, 200, 400, 800, 1000, 1000} {
+		if got := b.Delay(i + 1); got != want*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+
+	j := &Backoff{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.2}
+	j.SeedJitter(7)
+	for i := 0; i < 100; i++ {
+		d := j.Delay(1)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("jittered Delay(1) = %v outside ±20%% of 100ms", d)
+		}
+	}
+
+	// Same seed, same schedule: jitter is reproducible for tests.
+	a1, a2 := &Backoff{}, &Backoff{}
+	a1.SeedJitter(42)
+	a2.SeedJitter(42)
+	for i := 1; i <= 5; i++ {
+		if d1, d2 := a1.Delay(i), a2.Delay(i); d1 != d2 {
+			t.Fatalf("seeded jitter diverged at attempt %d: %v vs %v", i, d1, d2)
+		}
+	}
+}
+
+// TestDoRetriesOnlyTransient: deterministic failures are returned after
+// exactly one attempt; transient failures burn the attempt budget.
+func TestDoRetriesOnlyTransient(t *testing.T) {
+	noSleep := func(context.Context, time.Duration) error { return nil }
+	b := &Backoff{Attempts: 4}
+
+	calls := 0
+	det := errors.New("deterministic")
+	if err := Do(context.Background(), b, noSleep, func(int) error { calls++; return det }); !errors.Is(err, det) {
+		t.Errorf("Do returned %v, want the deterministic error", err)
+	}
+	if calls != 1 {
+		t.Errorf("deterministic error tried %d times, want 1", calls)
+	}
+
+	calls = 0
+	if err := Do(context.Background(), b, noSleep, func(int) error { calls++; return Transientf("flake %d", calls) }); !IsTransient(err) {
+		t.Errorf("exhausted retries returned %v, want last transient error", err)
+	}
+	if calls != 4 {
+		t.Errorf("transient error tried %d times, want 4", calls)
+	}
+
+	calls = 0
+	err := Do(context.Background(), b, noSleep, func(int) error {
+		calls++
+		if calls < 3 {
+			return Transientf("flake")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("recovering fn: err=%v calls=%d, want nil after 3", err, calls)
+	}
+}
+
+// TestDoHonorsContext: a dead context stops the loop before the next
+// attempt, and a mid-backoff cancellation returns the work's error.
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	if err := Do(ctx, &Backoff{}, nil, func(int) error { calls++; return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Do = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("pre-cancelled Do still ran fn %d times", calls)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	sleeps := 0
+	sleep := func(context.Context, time.Duration) error { sleeps++; cancel2(); return ctx2.Err() }
+	werr := Transientf("flaky io")
+	if err := Do(ctx2, &Backoff{Attempts: 5}, sleep, func(int) error { return werr }); !errors.Is(err, werr) {
+		t.Errorf("cancelled mid-backoff: %v, want the work's transient error", err)
+	}
+	if sleeps != 1 {
+		t.Errorf("slept %d times after cancellation, want 1", sleeps)
+	}
+}
+
+// TestInjectorRules drives the full fault surface: nth-operation
+// failure, path scoping, torn writes, and panics.
+func TestInjectorRules(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("injected: no space left on device")
+
+	in := NewInjector(nil).Inject(Rule{Op: OpWrite, Path: "journal", Count: 1, Err: boom})
+	f, err := in.OpenAppend(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("rec1\n")); !errors.Is(err, boom) {
+		t.Fatalf("first journal write err = %v, want injected", err)
+	}
+	if _, err := f.Write([]byte("rec2\n")); err != nil {
+		t.Fatalf("second write should pass (Count=1): %v", err)
+	}
+	f.Close()
+	if data, _ := os.ReadFile(filepath.Join(dir, "journal.wal")); string(data) != "rec2\n" {
+		t.Errorf("file contents %q, want only the surviving record", data)
+	}
+	if fired := in.Fired(); len(fired) != 1 || !strings.Contains(fired[0], "write") {
+		t.Errorf("Fired() = %v", fired)
+	}
+
+	// Path scoping: a rule on "cache" never fires for the journal.
+	in2 := NewInjector(nil).Inject(Rule{Op: OpWrite, Path: "cache", Err: boom})
+	f2, err := in2.OpenAppend(filepath.Join(dir, "journal2.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("x")); err != nil {
+		t.Errorf("scoped rule fired on unrelated path: %v", err)
+	}
+	f2.Close()
+
+	// Torn write: only the first TornBytes bytes land.
+	in3 := NewInjector(nil).Inject(Rule{Op: OpWrite, Count: 1, Err: boom, TornBytes: 3})
+	f3, err := in3.OpenAppend(filepath.Join(dir, "torn.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f3.Write([]byte("abcdef")); n != 3 || !errors.Is(err, boom) {
+		t.Fatalf("torn write: n=%d err=%v, want 3 bytes then the injected error", n, err)
+	}
+	f3.Close()
+	if data, _ := os.ReadFile(filepath.Join(dir, "torn.wal")); string(data) != "abc" {
+		t.Errorf("torn file contents %q, want the 3-byte prefix", data)
+	}
+
+	// Panic rule: the operation panics instead of erroring.
+	in4 := NewInjector(nil).Inject(Rule{Op: OpCreate, Panic: true, Err: boom})
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic rule did not panic")
+			}
+		}()
+		in4.CreateTemp(dir, "x-*.tmp")
+	}()
+}

@@ -9,6 +9,8 @@ import (
 	"repro/internal/api"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/resil"
+	"repro/internal/telemetry"
 )
 
 // job is the server-side state of one submitted run or sweep. The wire
@@ -20,20 +22,34 @@ type job struct {
 
 	run   api.RunRequest
 	sweep api.SweepRequest
+	// fingerprint is the run's content address (run jobs only), stamped
+	// at submission so clients and the journal can correlate resubmitted
+	// work across daemon restarts.
+	fingerprint string
 
 	mu       sync.Mutex
 	state    string
 	errMsg   string
+	attempts int
+	seq      uint64 // transition sequence, the SSE event id
 	runRes   *api.RunResult
 	sweepRes *api.SweepResult
 	created  time.Time
 	started  time.Time
 	finished time.Time
-	subs     map[chan api.Job]struct{}
+	subs     map[chan jobEvent]struct{}
 
 	cancel context.CancelFunc
 	ctx    context.Context
 	done   chan struct{}
+}
+
+// jobEvent is one SSE frame: the snapshot plus its monotonic sequence
+// number, which the wire carries as the SSE id so clients can resume a
+// dropped stream with Last-Event-ID.
+type jobEvent struct {
+	seq  uint64
+	snap api.Job
 }
 
 // snapshot renders the wire view under the job's lock.
@@ -43,6 +59,14 @@ func (j *job) snapshot() api.Job {
 	return j.snapshotLocked()
 }
 
+// current returns the snapshot together with its sequence number, read
+// atomically (the SSE handler's dedup decision needs both).
+func (j *job) current() (uint64, api.Job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq, j.snapshotLocked()
+}
+
 func (j *job) snapshotLocked() api.Job {
 	out := api.Job{
 		SchemaVersion: api.SchemaVersion,
@@ -50,6 +74,8 @@ func (j *job) snapshotLocked() api.Job {
 		Kind:          j.kind,
 		State:         j.state,
 		Error:         j.errMsg,
+		Attempts:      j.attempts,
+		Fingerprint:   j.fingerprint,
 		CreatedMS:     j.created.UnixMilli(),
 		Run:           j.runRes,
 		Sweep:         j.sweepRes,
@@ -77,8 +103,9 @@ func (j *job) transition(state string, mutate func(*job)) {
 	if mutate != nil {
 		mutate(j)
 	}
-	snap := j.snapshotLocked()
-	subs := make([]chan api.Job, 0, len(j.subs))
+	j.seq++
+	ev := jobEvent{seq: j.seq, snap: j.snapshotLocked()}
+	subs := make([]chan jobEvent, 0, len(j.subs))
 	for ch := range j.subs {
 		subs = append(subs, ch)
 	}
@@ -90,7 +117,7 @@ func (j *job) transition(state string, mutate func(*job)) {
 		// intermediate frames but always observes the terminal one via
 		// the done channel below.
 		select {
-		case ch <- snap:
+		case ch <- ev:
 		default:
 		}
 	}
@@ -101,11 +128,11 @@ func (j *job) transition(state string, mutate func(*job)) {
 
 // subscribe registers an SSE consumer; the returned cancel must be
 // called when the consumer leaves.
-func (j *job) subscribe() (<-chan api.Job, func()) {
-	ch := make(chan api.Job, 16)
+func (j *job) subscribe() (<-chan jobEvent, func()) {
+	ch := make(chan jobEvent, 16)
 	j.mu.Lock()
 	if j.subs == nil {
-		j.subs = make(map[chan api.Job]struct{})
+		j.subs = make(map[chan jobEvent]struct{})
 	}
 	j.subs[ch] = struct{}{}
 	j.mu.Unlock()
@@ -116,62 +143,132 @@ func (j *job) subscribe() (<-chan api.Job, func()) {
 	}
 }
 
-// execute runs the job to a terminal state. It is called on a worker
+// execute drives the job to a terminal state, retrying transient
+// failures with capped exponential backoff. It is called on a worker
 // goroutine holding a concurrency slot.
 func (s *Server) execute(j *job) {
-	j.transition(api.JobRunning, func(j *job) { j.started = s.now() })
 	log := s.log.With(obs.ContextAttrs(j.ctx)...)
-	log.Info("job running", "kind", j.kind)
+	for {
+		var attempt int
+		j.transition(api.JobRunning, func(j *job) {
+			if j.started.IsZero() {
+				j.started = s.now()
+			}
+			j.errMsg = ""
+			j.attempts++
+			attempt = j.attempts
+		})
+		s.journalMark(j, "start")
+		log.Info("job running", "kind", j.kind, "attempt", attempt)
 
-	var err error
+		start := s.now()
+		err := s.runAttempt(j)
+		s.observeRun(s.now().Sub(start))
+		if err == nil {
+			j.transition(api.JobDone, func(j *job) { j.finished = s.now() })
+			s.journalMark(j, "finish")
+			log.Info("job finished", "state", api.JobDone, "attempts", attempt)
+			return
+		}
+
+		if p, ok := resil.IsPanic(err); ok {
+			// The worker recovered; the daemon is intact and only this job
+			// fails. The stack goes to the log — the wire error stays short.
+			s.counter("rmserved_job_panics_total")
+			log.Error("job worker panicked", "kind", j.kind, "panic", fmt.Sprint(p.Value), "stack", string(p.Stack))
+		}
+		if j.ctx.Err() != nil {
+			j.transition(api.JobCancelled, func(j *job) {
+				j.errMsg = err.Error()
+				j.finished = s.now()
+			})
+			s.journalMark(j, "finish")
+			log.Info("job finished", "state", api.JobCancelled, "error", err.Error())
+			return
+		}
+		if resil.IsTransient(err) && attempt < s.opts.Retry.MaxAttempts() {
+			delay := s.opts.Retry.Delay(attempt)
+			s.counter("rmserved_job_retries_total", telemetry.Label{Key: "kind", Value: j.kind})
+			j.transition(api.JobRetrying, func(j *job) { j.errMsg = err.Error() })
+			log.Warn("job retrying", "attempt", attempt, "delay_ms", delay.Milliseconds(), "error", err.Error())
+			if s.opts.Sleep(j.ctx, delay) == nil {
+				continue
+			}
+			// Cancelled mid-backoff: resolve immediately rather than
+			// burning a worker slot on an attempt doomed by a dead context.
+			j.transition(api.JobCancelled, func(j *job) {
+				j.errMsg = j.ctx.Err().Error()
+				j.finished = s.now()
+			})
+			s.journalMark(j, "finish")
+			log.Info("job finished", "state", api.JobCancelled)
+			return
+		}
+		j.transition(api.JobFailed, func(j *job) {
+			j.errMsg = err.Error()
+			j.finished = s.now()
+		})
+		s.journalMark(j, "finish")
+		log.Info("job finished", "state", api.JobFailed, "attempts", attempt, "error", err.Error())
+		return
+	}
+}
+
+// runAttempt executes the job's work once under the per-job deadline.
+// On success the result is stored on the job and nil returned; the
+// terminal transition stays with execute, so SSE subscribers never see
+// a result on a non-terminal frame.
+func (s *Server) runAttempt(j *job) error {
+	ctx := j.ctx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
 	switch j.kind {
 	case "run":
 		cfg, alg, setups, merr := experiment.MaterializeRun(j.run)
 		if merr != nil {
 			// Validation passed at submission, so this is unreachable
 			// short of a schema drift; fail the job rather than panic.
-			err = merr
-			break
+			return merr
 		}
-		var out experiment.RunOutcome
-		out, err = experiment.ScheduledRunContext(j.ctx, cfg, alg, setups)
-		if err == nil {
-			res := experiment.OutcomeToAPI(out)
-			j.transition(api.JobDone, func(j *job) {
-				j.runRes = &res
-				j.finished = s.now()
-			})
+		out, err := experiment.ScheduledRunContext(ctx, cfg, alg, setups)
+		if err != nil {
+			return s.deadlineError(ctx, j, err)
 		}
+		res := experiment.OutcomeToAPI(out)
+		j.mu.Lock()
+		j.runRes = &res
+		j.mu.Unlock()
+		return nil
 	case "sweep":
 		factory, ferr := experiment.SweepFactory(j.sweep.Pattern)
 		if ferr != nil {
-			err = ferr
-			break
+			return ferr
 		}
-		var results []experiment.PointResult
-		results, err = experiment.SweepSeedsContext(j.ctx, j.sweep.Points, factory, s.opts.Parallelism, j.sweep.Seeds)
-		if err == nil {
-			res := experiment.SweepToAPI(results)
-			j.transition(api.JobDone, func(j *job) {
-				j.sweepRes = &res
-				j.finished = s.now()
-			})
+		results, err := experiment.SweepSeedsContext(ctx, j.sweep.Points, factory, s.opts.Parallelism, j.sweep.Seeds)
+		if err != nil {
+			return s.deadlineError(ctx, j, err)
 		}
+		res := experiment.SweepToAPI(results)
+		j.mu.Lock()
+		j.sweepRes = &res
+		j.mu.Unlock()
+		return nil
 	default:
-		err = fmt.Errorf("server: unknown job kind %q", j.kind)
+		return fmt.Errorf("server: unknown job kind %q", j.kind)
 	}
+}
 
-	if err != nil {
-		state := api.JobFailed
-		if j.ctx.Err() != nil {
-			state = api.JobCancelled
-		}
-		log.Info("job finished", "state", state, "error", err.Error())
-		j.transition(state, func(j *job) {
-			j.errMsg = err.Error()
-			j.finished = s.now()
-		})
-		return
+// deadlineError distinguishes "the attempt's deadline expired" from
+// "the job was cancelled": when the attempt context died but the job
+// context is still live, the per-job timeout fired. Timeouts are
+// deterministic for a given spec — re-running the same work against the
+// same deadline loses the same race — so they fail the job, not retry.
+func (s *Server) deadlineError(ctx context.Context, j *job, err error) error {
+	if ctx.Err() != nil && j.ctx.Err() == nil {
+		return fmt.Errorf("server: job exceeded -job-timeout %v: %w", s.opts.JobTimeout, err)
 	}
-	log.Info("job finished", "state", api.JobDone)
+	return err
 }

@@ -35,7 +35,9 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/resil"
 	"repro/internal/telemetry"
 )
 
@@ -58,11 +61,32 @@ type Options struct {
 	// per sweep job); ≤0 means NumCPU.
 	Parallelism int
 	// CacheDir, when set, opens a persistent content-addressed run cache
-	// and installs it on the shared scheduler.
+	// and installs it on the shared scheduler. Unset with DataDir set, it
+	// defaults to DataDir/cache so results survive restarts alongside the
+	// journal.
 	CacheDir string
+	// DataDir, when set, enables the durable job journal: accepted jobs
+	// are logged to DataDir/journal.wal before they are acknowledged, and
+	// a restarting daemon replays the journal — re-enqueueing interrupted
+	// work, restoring terminal failures — instead of forgetting it.
+	DataDir string
+	// JobTimeout bounds each execution attempt of a job; 0 means no
+	// deadline. A timed-out attempt fails the job (deadlines lose the
+	// same race on every retry).
+	JobTimeout time.Duration
+	// Retry shapes the backoff between attempts at a transiently failed
+	// job. The zero value uses the resil defaults (3 attempts, 100ms base
+	// doubling to a 5s cap, ±20% jitter).
+	Retry resil.Backoff
 	// Logger receives request- and job-scoped structured logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// FS is the filesystem seam behind the journal and the run cache;
+	// nil means the real one. Tests inject faults through it.
+	FS resil.FS
+	// Sleep paces retry backoff; nil means a real context-aware sleep.
+	// Tests substitute a virtual sleeper.
+	Sleep resil.Sleeper
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints expose heap contents and must be
 	// opted into on a daemon that may face untrusted clients.
@@ -89,6 +113,13 @@ type Server struct {
 
 	metrics *obs.Metrics
 	nextID  atomic.Uint64
+
+	journal *journal // nil unless Options.DataDir is set
+
+	// avgRun is an EWMA of job execution time, feeding the Retry-After
+	// estimate on 429/503 rejections.
+	avgMu  sync.Mutex
+	avgRun time.Duration
 }
 
 // New builds a Server and installs its routes. When opts.CacheDir is
@@ -107,12 +138,13 @@ func New(opts Options) (*Server, error) {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	if opts.CacheDir != "" {
-		cache, err := experiment.OpenDiskCache(opts.CacheDir)
-		if err != nil {
-			return nil, err
-		}
-		experiment.SetDiskCache(cache)
+	if opts.Sleep == nil {
+		opts.Sleep = resil.SleepCtx
+	}
+	if opts.CacheDir == "" && opts.DataDir != "" {
+		// Results must survive restarts for journal replay to serve
+		// completed jobs from cache instead of re-simulating them.
+		opts.CacheDir = filepath.Join(opts.DataDir, "cache")
 	}
 	s := &Server{
 		opts:    opts,
@@ -122,12 +154,98 @@ func New(opts Options) (*Server, error) {
 		slots:   make(chan struct{}, opts.Workers),
 		metrics: obs.NewMetrics(),
 	}
+	if opts.CacheDir != "" {
+		cache, err := experiment.OpenDiskCacheFS(opts.CacheDir, opts.FS)
+		if err != nil {
+			return nil, err
+		}
+		cache.OnCorrupt = func(string) { s.metrics.Inc("obs_disk_cache_corrupt_total") }
+		experiment.SetDiskCache(cache)
+	}
 	// The run scheduler is process-global, so its wall-clock observer is
 	// too; the most recently constructed Server owns it (matching how
 	// SetDiskCache already behaves for the cache).
 	experiment.SetWallObserver(s.metrics)
 	s.routes()
+	if opts.DataDir != "" {
+		if err := s.restoreJournal(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// restoreJournal opens (and replays) the durable job journal. Jobs that
+// finished as failed or cancelled are restored as terminal records; all
+// other journaled jobs — interrupted, queued, or done — are re-enqueued
+// through the normal worker pool. Done jobs converge instantly: their
+// fingerprint hits the persistent run cache, so the replayed result is
+// byte-identical to the one computed before the crash.
+func (s *Server) restoreJournal() error {
+	jl, recs, err := openJournal(s.opts.DataDir, s.opts.FS)
+	if err != nil {
+		return err
+	}
+	s.journal = jl
+	jobs, maxSeq := foldRecords(recs)
+	s.nextID.Store(maxSeq)
+	for _, rj := range jobs {
+		if rj.kind != "run" && rj.kind != "sweep" {
+			s.log.Warn("journal replay: skipping unknown job kind", "job", rj.id, "kind", rj.kind)
+			continue
+		}
+		j := s.rebuildJob(rj)
+		s.counter("rmserved_journal_replayed_total", telemetry.Label{Key: "state", Value: rj.state})
+		if rj.state == api.JobFailed || rj.state == api.JobCancelled {
+			// The failure is sticky: replaying it would turn one logical
+			// job into two different answers across a restart.
+			continue
+		}
+		s.log.Info("journal replay: re-enqueueing job", "job", j.id, "kind", j.kind, "journaled_state", rj.state)
+		s.mu.Lock()
+		s.queued++
+		s.metrics.SetQueueDepth(s.queued)
+		s.mu.Unlock()
+		s.enqueue(j)
+	}
+	return nil
+}
+
+// rebuildJob reconstructs one journaled job. Terminal failures keep
+// their journaled outcome and are registered directly; every other job
+// comes back as a fresh queued shell (attempt count restarts — the wire
+// Attempts field describes the current daemon's executions).
+func (s *Server) rebuildJob(rj *replayedJob) *job {
+	ctx, cancel := context.WithCancel(obs.WithJobID(context.Background(), rj.id))
+	j := &job{
+		id:          rj.id,
+		kind:        rj.kind,
+		run:         rj.run,
+		sweep:       rj.sweep,
+		fingerprint: rj.fingerprint,
+		state:       api.JobQueued,
+		created:     time.UnixMilli(rj.createdMS),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+	}
+	if rj.state == api.JobFailed || rj.state == api.JobCancelled {
+		j.state = rj.state
+		j.errMsg = rj.errMsg
+		j.attempts = rj.attempts
+		if rj.startedMS != 0 {
+			j.started = time.UnixMilli(rj.startedMS)
+		}
+		if rj.finishedMS != 0 {
+			j.finished = time.UnixMilli(rj.finishedMS)
+		}
+		close(j.done)
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+	}
+	return j
 }
 
 func (s *Server) now() time.Time { return s.opts.Now() }
@@ -240,6 +358,7 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 	s.mu.Lock()
 	if s.queued >= s.opts.QueueDepth {
 		s.mu.Unlock()
+		w.Header().Set(api.RetryAfterHeader, strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, api.CodeQueueFull, "job queue full (%d waiting); retry later", s.opts.QueueDepth)
 		s.counter("rmserved_rejected_total", telemetry.Label{Key: "reason", Value: "queue_full"})
 		return false
@@ -257,6 +376,101 @@ func (s *Server) dequeued() {
 	s.queued--
 	s.metrics.SetQueueDepth(s.queued)
 	s.mu.Unlock()
+}
+
+// observeRun feeds one job execution duration into the EWMA behind the
+// Retry-After estimate.
+func (s *Server) observeRun(d time.Duration) {
+	s.avgMu.Lock()
+	if s.avgRun == 0 {
+		s.avgRun = d
+	} else {
+		s.avgRun = (s.avgRun*4 + d) / 5
+	}
+	s.avgMu.Unlock()
+}
+
+// retryAfter renders the server's current backoff hint in seconds.
+func (s *Server) retryAfter() int {
+	s.avgMu.Lock()
+	avg := s.avgRun
+	s.avgMu.Unlock()
+	s.mu.Lock()
+	queued := s.queued
+	s.mu.Unlock()
+	return retryAfterSeconds(queued, s.opts.Workers, avg)
+}
+
+// retryAfterSeconds estimates how long until the queue has room again:
+// the backlog's expected drain time at the observed per-job duration,
+// spread across the worker pool, clamped to [1s, 60s]. With no duration
+// signal yet, a flat 2s keeps clients from hammering a cold daemon.
+func retryAfterSeconds(queued, workers int, avgRun time.Duration) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	if avgRun <= 0 {
+		return 2
+	}
+	wait := time.Duration(queued+1) * avgRun / time.Duration(workers)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// journalMark appends a start or finish record for j. Best effort by
+// design: the submit record is the durability contract (the job exists),
+// while a lost mark merely re-runs idempotent work after a crash.
+func (s *Server) journalMark(j *job, typ string) {
+	if s.journal == nil {
+		return
+	}
+	snap := j.snapshot()
+	rec := journalRecord{Type: typ, Job: j.id, MS: s.now().UnixMilli()}
+	if typ == "finish" {
+		rec.State = snap.State
+		rec.Error = snap.Error
+		rec.Attempts = snap.Attempts
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.counter("rmserved_journal_errors_total", telemetry.Label{Key: "type", Value: typ})
+		s.log.Warn("journal append failed", "job", j.id, "type", typ, "error", err.Error())
+	}
+}
+
+// journalSubmit durably records an accepted job before the client sees
+// the acknowledgement. An error here must abort the submission: a job
+// the journal does not know would vanish on restart despite having been
+// acknowledged.
+func (s *Server) journalSubmit(j *job) error {
+	if s.journal == nil {
+		return nil
+	}
+	rec := journalRecord{Type: "submit", Job: j.id, MS: s.now().UnixMilli(), Kind: j.kind, Fingerprint: j.fingerprint}
+	switch j.kind {
+	case "run":
+		rec.Run = &j.run
+	case "sweep":
+		rec.Sweep = &j.sweep
+	}
+	return s.journal.append(rec)
+}
+
+// rejectJournal unwinds a submission whose journal write failed: the
+// queue slot is released and the client told to retry once the disk
+// recovers — resubmitting the identical spec is idempotent.
+func (s *Server) rejectJournal(w http.ResponseWriter, j *job, err error) {
+	s.dequeued()
+	s.counter("rmserved_rejected_total", telemetry.Label{Key: "reason", Value: "journal"})
+	s.counter("rmserved_journal_errors_total", telemetry.Label{Key: "type", Value: "submit"})
+	s.log.Error("journal submit failed; rejecting job", "job", j.id, "error", err.Error())
+	w.Header().Set(api.RetryAfterHeader, strconv.Itoa(s.retryAfter()))
+	writeError(w, http.StatusServiceUnavailable, api.CodeJournal, "journal write failed; job not accepted, retry later: %v", err)
 }
 
 // enqueue registers the job and hands it to the worker pool.
@@ -323,7 +537,8 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	// Validate the whole spec here — including materialization — so a bad
 	// request fails synchronously with every field error, not as a failed
 	// job minutes later.
-	if _, _, _, err := experiment.MaterializeRun(req); err != nil {
+	cfg, alg, setups, err := experiment.MaterializeRun(req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
@@ -332,6 +547,14 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJob(r, "run")
 	j.run = req
+	// The fingerprint computed here is the same content address the
+	// scheduler dedups on, so a client resubmitting after a crash can
+	// find this job (or its twin) by fingerprint.
+	j.fingerprint = experiment.RunKey(cfg, alg, setups)
+	if err := s.journalSubmit(j); err != nil {
+		s.rejectJournal(w, j, err)
+		return
+	}
 	s.enqueue(j)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
@@ -351,6 +574,10 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJob(r, "sweep")
 	j.sweep = req
+	if err := s.journalSubmit(j); err != nil {
+		s.rejectJournal(w, j, err)
+		return
+	}
 	s.enqueue(j)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
@@ -368,15 +595,21 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	// ?fingerprint= narrows the list to jobs for one content-addressed
+	// run — how a client rediscovers its work on a restarted daemon.
+	fp := r.URL.Query().Get("fingerprint")
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
 		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
-	out := make([]api.Job, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.snapshot()
+	out := make([]api.Job, 0, len(jobs))
+	for _, j := range jobs {
+		if fp != "" && j.fingerprint != fp {
+			continue
+		}
+		out = append(out, j.snapshot())
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -422,40 +655,58 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: a resumed stream may suppress its initial
+	// frame, and a client blocked on response headers can't be said to
+	// have reconnected.
+	fl.Flush()
+
+	// Last-Event-ID (the standard SSE resume header) carries the sequence
+	// number of the last frame a reconnecting client saw; frames at or
+	// below it are suppressed so a resumed stream never duplicates state.
+	var lastID uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		lastID, _ = strconv.ParseUint(v, 10, 64)
+	}
 
 	events, unsub := j.subscribe()
 	defer unsub()
 	s.metrics.AddSSESubscribers(1)
 	defer s.metrics.AddSSESubscribers(-1)
 
-	emit := func(snap api.Job) bool {
+	emit := func(seq uint64, snap api.Job) bool {
 		data, err := json.Marshal(snap)
 		if err != nil {
 			return false
 		}
-		fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+		fmt.Fprintf(w, "id: %d\nevent: state\ndata: %s\n\n", seq, data)
 		fl.Flush()
 		return !api.TerminalState(snap.State)
 	}
-	if !emit(j.snapshot()) {
-		return
+	seq, snap := j.current()
+	if seq > lastID || api.TerminalState(snap.State) {
+		// Terminal frames re-emit even when already seen: a stream must
+		// always end on one, and the duplicate is idempotent.
+		if !emit(seq, snap) {
+			return
+		}
 	}
 	for {
 		select {
-		case snap := <-events:
-			if !emit(snap) {
+		case ev := <-events:
+			if !emit(ev.seq, ev.snap) {
 				return
 			}
 		case <-j.done:
 			// Drain any buffered frames, then emit the terminal snapshot.
 			for {
 				select {
-				case snap := <-events:
-					if !emit(snap) {
+				case ev := <-events:
+					if !emit(ev.seq, ev.snap) {
 						return
 					}
 				default:
-					emit(j.snapshot())
+					seq, snap := j.current()
+					emit(seq, snap)
 					return
 				}
 			}
@@ -479,7 +730,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		switch j.snapshot().State {
 		case api.JobQueued:
 			stats.Jobs.Queued++
-		case api.JobRunning:
+		case api.JobRunning, api.JobRetrying:
+			// A retrying job still holds its worker slot; for capacity
+			// accounting it is running.
 			stats.Jobs.Running++
 		case api.JobDone:
 			stats.Jobs.Done++
