@@ -36,7 +36,7 @@ test:
 # the hot paths, their locking, and the sweep cache honest under the
 # race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/server/... ./internal/client/... ./internal/policy/... ./internal/resil/...
+	$(GO) test -race ./internal/sim/... ./internal/telemetry/... ./internal/core/... ./internal/experiment/... ./internal/api/... ./internal/session/... ./internal/server/... ./internal/client/... ./internal/policy/... ./internal/resil/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/telemetry/...
@@ -65,9 +65,9 @@ bench-suite:
 	rm -rf $$tmp
 
 # bench-record re-measures the named benchrunner workloads (Table 1
-# canary, fig9-13 cold/warm, ext-chaos, rmserved round-trip) and rewrites
-# $(BENCH_OUT); run it after an intentional perf change to move the
-# committed baseline.
+# canary, fig9-13 cold/warm, ext-chaos, rmserved round-trip, session
+# fan-out) and rewrites $(BENCH_OUT); run it after an intentional perf
+# change to move the committed baseline.
 bench-record:
 	$(GO) run ./cmd/benchrunner -iterations $(BENCH_ITERS) -out $(BENCH_OUT)
 

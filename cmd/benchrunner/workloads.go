@@ -6,6 +6,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http/httptest"
+	"sync"
 	"time"
 
 	"repro/internal/api"
@@ -208,6 +209,69 @@ func benches() []bench {
 					ts.Close()
 					// server.New hooked its metrics into the global
 					// scheduler; detach so later runs stay unobserved.
+					experiment.SetWallObserver(nil)
+				}
+				return op, cleanup, nil
+			},
+		},
+		{
+			name:  "session-fanout",
+			gated: false, // paced streaming: wall time is dominated by the configured rate
+			desc: "one paced live session (30 samples at ≤100 updates/s) fanned out to 1000 concurrent SSE subscribers " +
+				"over real HTTP; every subscriber folds 31 state frames to the exact final state, so " +
+				"delivered updates/sec = 31000 / wall",
+			prep: func() (func() error, func(), error) {
+				quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+				srv, err := server.New(server.Options{Logger: quiet})
+				if err != nil {
+					return nil, nil, err
+				}
+				ts := httptest.NewServer(srv)
+				cl := client.New(ts.URL)
+				seed := uint64(0xfa0)
+				req := api.SessionRequest{
+					SchemaVersion: api.SchemaVersion,
+					Algorithm:     api.AlgPredictive,
+					Seed:          &seed,
+					Task: api.TaskSpec{
+						Pattern: api.Pattern{Kind: api.PatternConstant, Value: 500, Periods: 30},
+					},
+					SampleMS:  500, // 30 samples across the 15s sim
+					MaxRateHz: 100, // pace so subscribers stream live, not from replay
+				}
+				const subscribers = 1000
+				op := func() error {
+					sess, err := cl.CreateSession(context.Background(), req)
+					if err != nil {
+						return err
+					}
+					errs := make(chan error, subscribers)
+					var wg sync.WaitGroup
+					for i := 0; i < subscribers; i++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							st, stamp, err := cl.StreamSession(context.Background(), sess.ID, nil)
+							switch {
+							case err != nil:
+								errs <- err
+							case stamp.State != api.SessionDone:
+								errs <- fmt.Errorf("session ended %q", stamp.State)
+							case st.Metrics.Completed != 30:
+								errs <- fmt.Errorf("fold completed %d periods, want 30", st.Metrics.Completed)
+							}
+						}()
+					}
+					wg.Wait()
+					select {
+					case err := <-errs:
+						return err
+					default:
+						return nil
+					}
+				}
+				cleanup := func() {
+					ts.Close()
 					experiment.SetWallObserver(nil)
 				}
 				return op, cleanup, nil

@@ -13,6 +13,7 @@
 //	rmserved -data-dir /var/rmserved  # durable job journal: restart replays
 //	rmserved -job-timeout 5m        # per-job wall-clock deadline
 //	rmserved -job-retries 5         # attempts per job for transient failures
+//	rmserved -max-sessions 32       # cap live streaming sessions (POST /v1/sessions)
 //	rmserved -log-format json       # structured logs for a collector
 //	rmserved -pprof                 # mount /debug/pprof/* (opt-in)
 //
@@ -56,6 +57,7 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durable state directory: the job journal lives here and, unless -cache-dir overrides, the run cache; a restart replays unfinished jobs")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock deadline; a job past it fails without retry (0 = no deadline)")
 		jobRetries = flag.Int("job-retries", 0, "max attempts per job for transient failures, backoff-spaced (0 = default 3)")
+		maxSess    = flag.Int("max-sessions", 0, "max live streaming sessions before POST /v1/sessions gets 429 (0 = default 16)")
 		pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes runtime internals)")
 		verbose    = flag.Bool("v", false, "log at debug level (per-request start lines)")
 	)
@@ -79,6 +81,7 @@ func main() {
 		DataDir:     *dataDir,
 		JobTimeout:  *jobTimeout,
 		Retry:       resil.Backoff{Attempts: *jobRetries},
+		MaxSessions: *maxSess,
 		Logger:      log,
 		EnablePprof: *pprofFlag,
 	})

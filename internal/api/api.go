@@ -316,9 +316,12 @@ type JobStats struct {
 // worker configuration, and the server's telemetry registry rendered as
 // name → value.
 type Stats struct {
-	SchemaVersion int                `json:"schema_version"`
-	Scheduler     SchedulerStats     `json:"scheduler"`
-	Jobs          JobStats           `json:"jobs"`
+	SchemaVersion int            `json:"schema_version"`
+	Scheduler     SchedulerStats `json:"scheduler"`
+	Jobs          JobStats       `json:"jobs"`
+	// Sessions is present on daemons with session mode wired (additive;
+	// absent on older servers).
+	Sessions      *SessionStats      `json:"sessions,omitempty"`
 	QueueDepth    int                `json:"queue_depth"`
 	QueueCapacity int                `json:"queue_capacity"`
 	Workers       int                `json:"workers"`

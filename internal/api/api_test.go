@@ -87,6 +87,7 @@ func goldenDTOs() map[string]any {
 			SchemaVersion: SchemaVersion,
 			Scheduler:     SchedulerStats{Requested: 10, Deduped: 2, MemoryHits: 3, DiskHits: 1, Simulated: 3, Cancelled: 1, Remote: 0},
 			Jobs:          JobStats{Queued: 1, Running: 2, Done: 5, Failed: 1, Cancelled: 1},
+			Sessions:      &SessionStats{Active: 1, Done: 2, Subscribers: 7, Evictions: 3},
 			QueueDepth:    1, QueueCapacity: 64, Workers: 8,
 			Draining:  false,
 			Telemetry: map[string]float64{"rmserved_jobs_submitted_total{kind=\"run\"}": 9},
@@ -95,6 +96,73 @@ func goldenDTOs() map[string]any {
 		"pattern_custom": Pattern{
 			Kind: PatternCustom, Label: "recorded", Values: []int{500, 900, 1400, 700},
 		},
+		"session_request": SessionRequest{
+			SchemaVersion: SchemaVersion,
+			Algorithm:     AlgPredictive,
+			Seed:          &fixtureSeed,
+			Task: TaskSpec{
+				Pattern: Pattern{Kind: PatternTriangular, Min: 500, Max: 12000, Periods: 120, Cycles: 2},
+			},
+			SampleMS:    250,
+			MaxRateHz:   20,
+			HeartbeatMS: 5000,
+			Buffer:      128,
+		},
+		"session":       fixtureSession(),
+		"session_state": fixtureSessionState(),
+		"event_snapshot": Event{
+			Type: EventSnapshot, Seq: 1,
+			Session:  ptr(fixtureSession()),
+			Snapshot: ptr(fixtureSessionState()),
+		},
+		"event_diff": Event{
+			Type: EventDiff, Seq: 2,
+			Session: ptr(fixtureSession()),
+			Diff: &SessionDiff{
+				SimMS: 1500,
+				Nodes: []SessionNodeDelta{{Node: 2, SessionNode: SessionNode{Util: 0.91, Down: true}}},
+				Tasks: []SessionTaskDelta{{Task: 0, SessionTask: SessionTask{
+					Name: "benchmark", Stages: [][]int{{0}, {1, 3}, {2}}, Completed: 3, Missed: 1,
+				}}},
+				Metrics: &Metrics{Periods: 3, Completed: 3, Missed: 1, MaxReplicas: 6},
+			},
+		},
+		"event_heartbeat": Event{Type: EventHeartbeat},
+		"job_page": JobPage{
+			SchemaVersion: SchemaVersion,
+			Jobs: []Job{{
+				SchemaVersion: SchemaVersion,
+				ID:            "job-2", Kind: "run", State: JobDone,
+				CreatedMS: 1700000000000, StartedMS: 1700000000100, FinishedMS: 1700000004200,
+				Run: &runRes,
+			}},
+			NextAfter: "job-2",
+		},
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// fixtureSession and fixtureSessionState are shared by several golden
+// DTOs, so the fixtures stay mutually consistent.
+func fixtureSession() Session {
+	return Session{
+		SchemaVersion: SchemaVersion,
+		ID:            "sess-1", State: SessionRunning,
+		Algorithm: AlgPredictive, SampleMS: 250,
+		CreatedMS: 1700000000000, SimMS: 1250, Seq: 5,
+		Subscribers: 2, Evictions: 1,
+	}
+}
+
+func fixtureSessionState() SessionState {
+	return SessionState{
+		SimMS: 1250,
+		Nodes: []SessionNode{{Util: 0.42}, {Util: 0.77}, {Util: 0, Down: true}, {Util: 0.11}, {Util: 0.5}, {Util: 0.31}},
+		Tasks: []SessionTask{{
+			Name: "benchmark", Stages: [][]int{{0}, {1, 3}, {2}}, Completed: 2, InFlight: 1,
+		}},
+		Metrics: Metrics{Periods: 2, Completed: 2, MeanCPUUtil: 0.4, MaxReplicas: 6, Crashes: 1},
 	}
 }
 

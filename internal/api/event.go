@@ -1,0 +1,108 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SSE event types. Every v1 stream frame is one of these; the name
+// travels on the SSE `event:` line and inside the Event envelope's
+// "type" field.
+//
+// Compatibility: `job` frames are emitted WITHOUT an `event:` name and
+// with a bare Job as their `data:` payload for one deprecation window
+// (DESIGN.md §6) — pre-envelope clients parse only `id:`/`data:` lines
+// and decode the payload as a Job, and both properties must keep
+// holding for them. Session frames are new, so they carry their names
+// and the full envelope from day one.
+const (
+	EventJob       = "job"
+	EventSnapshot  = "snapshot"
+	EventDiff      = "diff"
+	EventHeartbeat = "heartbeat"
+)
+
+// Event is the typed envelope shared by every v1 SSE stream: job
+// progress frames on /v1/jobs/{id}/events and session frames on
+// /v1/sessions/{id}/stream. Exactly one payload field matching Type is
+// set (heartbeats carry none). Seq is the per-stream sequence number —
+// the SSE id — that Last-Event-ID resume is keyed on; heartbeats do not
+// advance it.
+type Event struct {
+	Type string `json:"type"`
+	Seq  uint64 `json:"seq,omitempty"`
+	// Session, on snapshot and diff frames, stamps the session's state
+	// as of the frame — how a stream announces it has gone terminal.
+	Session  *Session      `json:"session,omitempty"`
+	Snapshot *SessionState `json:"snapshot,omitempty"`
+	Diff     *SessionDiff  `json:"diff,omitempty"`
+	Job      *Job          `json:"job,omitempty"`
+}
+
+// ErrUnknownEventType marks an SSE frame whose `event:` name this
+// schema version does not know. Consumers should skip such frames — an
+// older client surviving a newer server is the versioning policy's
+// additive-change contract.
+var ErrUnknownEventType = errors.New("api: unknown SSE event type")
+
+// sseData renders the frame's data payload: the bare Job for unnamed
+// job frames (deprecation window), the envelope itself otherwise.
+func (e Event) sseData() ([]byte, error) {
+	if e.Type == EventJob {
+		if e.Job == nil {
+			return nil, fmt.Errorf("api: job event without a job payload")
+		}
+		return json.Marshal(e.Job)
+	}
+	return json.Marshal(e)
+}
+
+// WriteSSE renders the event as one Server-Sent Events frame. Job
+// frames stay unnamed with a bare Job payload (see the type constants);
+// snapshot/diff frames carry `event:` name, envelope payload, and their
+// seq as the SSE id; heartbeats are named but id-less, so they never
+// disturb a client's Last-Event-ID.
+func (e Event) WriteSSE(w io.Writer) error {
+	data, err := e.sseData()
+	if err != nil {
+		return err
+	}
+	switch e.Type {
+	case EventJob:
+		_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, data)
+	case EventHeartbeat:
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+	default:
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	}
+	return err
+}
+
+// ParseSSE decodes one received frame from its `event:` name (empty for
+// unnamed frames) and `data:` payload. Unnamed frames and the legacy
+// "state" name decode as job frames for compatibility with pre-envelope
+// servers. Names this schema does not know return ErrUnknownEventType;
+// skip those frames.
+func ParseSSE(name string, data []byte) (Event, error) {
+	switch name {
+	case "", "state", EventJob:
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			return Event{}, fmt.Errorf("api: decoding job frame: %w", err)
+		}
+		return Event{Type: EventJob, Job: &j}, nil
+	case EventSnapshot, EventDiff, EventHeartbeat:
+		var e Event
+		if err := json.Unmarshal(data, &e); err != nil {
+			return Event{}, fmt.Errorf("api: decoding %s frame: %w", name, err)
+		}
+		if e.Type != name {
+			return Event{}, fmt.Errorf("api: frame named %q carries envelope type %q", name, e.Type)
+		}
+		return e, nil
+	default:
+		return Event{}, fmt.Errorf("%w: %q", ErrUnknownEventType, name)
+	}
+}

@@ -14,7 +14,6 @@
 package client
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -23,6 +22,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -52,15 +52,51 @@ type Client struct {
 	sleep resil.Sleeper
 }
 
-// New builds a client for the given base URL using http.DefaultClient.
-func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+// Option customizes a Client at construction. Options compose left to
+// right: client.New(base, client.WithHTTPClient(hc), client.WithRetries(b)).
+type Option func(*Client)
+
+// WithHTTPClient supplies the http.Client behind every request
+// (timeouts, transports, test doubles). nil keeps the default.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
 }
 
-// NewWithHTTPClient builds a client with a caller-supplied http.Client
-// (timeouts, transports, test doubles).
+// WithRetries shapes the backoff between retried requests and SSE
+// reconnects.
+func WithRetries(b resil.Backoff) Option {
+	return func(c *Client) { c.Retry = b }
+}
+
+// WithLogger installs a structured logger for per-request debug lines.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *Client) { c.Logger = l }
+}
+
+// WithPollInterval paces the polling fallback in Wait.
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) { c.PollInterval = d }
+}
+
+// New builds a client for the given base URL. With no options it uses
+// http.DefaultClient and the resil retry defaults.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// NewWithHTTPClient builds a client with a caller-supplied http.Client.
+//
+// Deprecated: use New(base, WithHTTPClient(hc)).
 func NewWithHTTPClient(base string, hc *http.Client) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return New(base, WithHTTPClient(hc))
 }
 
 // APIError is a non-2xx response decoded from the server's error
@@ -247,6 +283,23 @@ func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
 	return out, err
 }
 
+// JobsPage fetches one page of the job list: at most limit jobs in
+// submission order, starting after the `after` cursor (empty for the
+// first page). Page through with the returned NextAfter until it comes
+// back empty.
+func (c *Client) JobsPage(ctx context.Context, limit int, after string) (api.JobPage, error) {
+	if limit <= 0 {
+		return api.JobPage{}, fmt.Errorf("client: page limit must be positive, got %d", limit)
+	}
+	path := "/v1/jobs?limit=" + strconv.Itoa(limit)
+	if after != "" {
+		path += "&after=" + url.QueryEscape(after)
+	}
+	var page api.JobPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
 // Cancel cancels a queued or running job and returns its terminal
 // snapshot.
 func (c *Client) Cancel(ctx context.Context, id string) (api.Job, error) {
@@ -316,32 +369,34 @@ func (c *Client) streamEvents(ctx context.Context, id string, lastEventID *strin
 		return false, decodeError(resp)
 	}
 	progressed := false
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if evID, ok := strings.CutPrefix(line, "id: "); ok {
+	err = scanSSE(resp.Body, func(evID, name string, data []byte) error {
+		ev, perr := api.ParseSSE(name, data)
+		if perr != nil {
+			if errors.Is(perr, api.ErrUnknownEventType) {
+				return nil // a newer server; skip frames we don't know
+			}
+			return fmt.Errorf("client: decoding event: %w", perr)
+		}
+		if ev.Type != api.EventJob {
+			return nil
+		}
+		if evID != "" {
 			*lastEventID = evID
-			continue
 		}
-		data, ok := strings.CutPrefix(line, "data: ")
-		if !ok {
-			continue
-		}
-		var j api.Job
-		if err := json.Unmarshal([]byte(data), &j); err != nil {
-			return progressed, fmt.Errorf("client: decoding event: %w", err)
-		}
-		*last = j
+		*last = *ev.Job
 		progressed = true
 		if fn != nil {
-			fn(j)
+			fn(*ev.Job)
 		}
-		if api.TerminalState(j.State) {
-			return progressed, nil
+		if api.TerminalState(ev.Job.State) {
+			return errStreamDone
 		}
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	switch {
+	case errors.Is(err, errStreamDone):
+		return progressed, nil
+	case err != nil:
 		return progressed, err
 	}
 	return progressed, io.ErrUnexpectedEOF

@@ -1,0 +1,54 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strings"
+)
+
+// errStreamDone is the internal sentinel a frame callback returns to
+// end an SSE scan successfully (a terminal frame arrived).
+var errStreamDone = errors.New("client: stream done")
+
+// scanSSE reads Server-Sent Events frames from r, invoking fn once per
+// complete frame with its id, event name, and data payload (any of
+// which may be empty). A non-nil callback error stops the scan and is
+// returned. Reaching EOF cleanly returns nil — callers decide whether
+// an EOF without a terminal frame is an error (it usually means the
+// connection dropped and the stream should resume via Last-Event-ID).
+func scanSSE(r io.Reader, fn func(id, name string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var id, name string
+	var data []byte
+	flush := func() error {
+		if data == nil {
+			id, name = "", ""
+			return nil
+		}
+		err := fn(id, name, data)
+		id, name, data = "", "", nil
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// A final frame not terminated by a blank line still counts.
+	return flush()
+}

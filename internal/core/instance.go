@@ -383,6 +383,10 @@ func (s *system) complete(inst *instance) {
 	inst.rec.CompletedAt = s.eng.Now()
 	inst.rt.inFlight--
 	missed := inst.rec.Missed()
+	inst.rt.completed++
+	if missed {
+		inst.rt.missed++
+	}
 	s.collector.ObserveCompletion(missed)
 	if !missed && len(s.openCrashes) > 0 {
 		// First met deadline since the crash(es): the system has

@@ -123,6 +123,10 @@ type runtimeTask struct {
 
 	lastCompleted *task.PeriodRecord
 	inFlight      int
+	// completed/missed count this task's finished instances for the
+	// observation hook (the collector aggregates across tasks).
+	completed int
+	missed    int
 
 	// Per-period scratch reused across estimateChain/deriveAssignment
 	// calls (AssignEQF copies what it keeps), and the instance free list.
@@ -177,6 +181,13 @@ const cancelCheckEvents = 4096
 // background context takes the exact single-call engine drain Run always
 // used, so results are bit-identical to the pre-context build.
 func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSetup) (Result, error) {
+	return runContext(ctx, cfg, alg, setups, nil)
+}
+
+// runContext is the shared body of RunContext and RunObservedContext.
+// obs, when non-nil, has been validated by the caller; nil keeps every
+// code path byte-identical to the unobserved build.
+func runContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSetup, obs *Observer) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -220,6 +231,11 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 	if err != nil {
 		return Result{}, err
 	}
+	if obs != nil {
+		// After the rest of construction, so every pre-existing event
+		// keeps its engine sequence number (see scheduleObservations).
+		s.scheduleObservations(obs, patternHorizon(setups))
+	}
 
 	// Run to quiescence: all instances drain once period starts stop.
 	// With a cancellable context, poll it every cancelCheckEvents events;
@@ -240,7 +256,14 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, setups []TaskSet
 			}
 		}
 	}
-	return s.finish(), nil
+	res := s.finish()
+	if obs != nil {
+		final := s.captureObservation()
+		final.Final = true
+		final.Metrics = res.Metrics
+		obs.OnSample(final)
+	}
+	return res, nil
 }
 
 // buildSystem assembles one simulated segment on the given engine:

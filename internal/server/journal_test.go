@@ -166,13 +166,13 @@ func TestRetryAfterSeconds(t *testing.T) {
 		avg             time.Duration
 		want            int
 	}{
-		{0, 4, 0, 2},                      // no signal yet
-		{10, 4, 0, 2},                     // still no signal
-		{0, 4, 2 * time.Second, 1},        // near-empty queue drains fast
-		{7, 4, 2 * time.Second, 4},        // 8 jobs × 2s / 4 workers
-		{100, 1, 30 * time.Second, 60},    // clamped high
-		{0, 8, 10 * time.Millisecond, 1},  // clamped low
-		{5, 0, time.Second, 6},            // workers ≤0 treated as 1
+		{0, 4, 0, 2},                     // no signal yet
+		{10, 4, 0, 2},                    // still no signal
+		{0, 4, 2 * time.Second, 1},       // near-empty queue drains fast
+		{7, 4, 2 * time.Second, 4},       // 8 jobs × 2s / 4 workers
+		{100, 1, 30 * time.Second, 60},   // clamped high
+		{0, 8, 10 * time.Millisecond, 1}, // clamped low
+		{5, 0, time.Second, 6},           // workers ≤0 treated as 1
 	}
 	for _, c := range cases {
 		if got := retryAfterSeconds(c.queued, c.workers, c.avg); got != c.want {

@@ -14,12 +14,25 @@
 //	POST   /v1/runs             submit one simulation        → api.Job
 //	POST   /v1/sweeps           submit one figure sweep      → api.Job
 //	GET    /v1/jobs             list jobs, newest last       → []api.Job
+//	                            (?limit=/?after= pages       → api.JobPage)
 //	GET    /v1/jobs/{id}        job status + result          → api.Job
 //	DELETE /v1/jobs/{id}        cancel a queued/running job  → api.Job
 //	GET    /v1/jobs/{id}/events SSE stream of job snapshots
 //	GET    /v1/stats            scheduler + queue + telemetry → api.Stats
 //	GET    /v1/metrics          Prometheus text exposition
 //	GET    /v1/healthz          liveness (200 "ok", 503 when draining)
+//
+// Live simulation sessions (see internal/session) stream a running
+// simulation's state as snapshot + diff SSE frames:
+//
+//	POST   /v1/sessions              start a live session    → api.Session
+//	GET    /v1/sessions              list sessions           → []api.Session
+//	GET    /v1/sessions/{id}         session status          → api.Session
+//	GET    /v1/sessions/{id}/state   latest snapshot         → api.SessionState
+//	POST   /v1/sessions/{id}/pause   gate the simulation     → api.Session
+//	POST   /v1/sessions/{id}/resume  release the gate        → api.Session
+//	DELETE /v1/sessions/{id}         stop the session        → api.Session
+//	GET    /v1/sessions/{id}/stream  SSE snapshot/diff stream
 //
 // Plain operational endpoints (outside the versioned API, no JSON):
 //
@@ -46,6 +59,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/resil"
+	"repro/internal/session"
 	"repro/internal/telemetry"
 )
 
@@ -91,6 +105,11 @@ type Options struct {
 	// default: profiling endpoints expose heap contents and must be
 	// opted into on a daemon that may face untrusted clients.
 	EnablePprof bool
+	// MaxSessions caps concurrently live simulation sessions (POST
+	// /v1/sessions); ≤0 means the session package default (16). Sessions
+	// bypass the job queue — each occupies its own goroutine for its
+	// whole life, so this cap is their backpressure.
+	MaxSessions int
 	// Now overrides the wall clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -111,8 +130,9 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // every admitted, unfinished job
 
-	metrics *obs.Metrics
-	nextID  atomic.Uint64
+	metrics  *obs.Metrics
+	nextID   atomic.Uint64
+	sessions *session.Manager
 
 	journal *journal // nil unless Options.DataDir is set
 
@@ -153,6 +173,10 @@ func New(opts Options) (*Server, error) {
 		jobs:    make(map[string]*job),
 		slots:   make(chan struct{}, opts.Workers),
 		metrics: obs.NewMetrics(),
+		sessions: session.NewManager(session.Config{
+			MaxSessions: opts.MaxSessions,
+			NowMS:       func() int64 { return opts.Now().UnixMilli() },
+		}),
 	}
 	if opts.CacheDir != "" {
 		cache, err := experiment.OpenDiskCacheFS(opts.CacheDir, opts.FS)
@@ -261,14 +285,22 @@ func (s *Server) counter(name string, labels ...telemetry.Label) {
 
 func (s *Server) routes() {
 	for route, h := range map[string]http.HandlerFunc{
-		"POST /v1/runs":            s.handleSubmitRun,
-		"POST /v1/sweeps":          s.handleSubmitSweep,
-		"GET /v1/jobs":             s.handleListJobs,
-		"GET /v1/jobs/{id}":        s.handleGetJob,
-		"DELETE /v1/jobs/{id}":     s.handleCancelJob,
-		"GET /v1/jobs/{id}/events": s.handleJobEvents,
-		"GET /v1/stats":            s.handleStats,
-		"GET /v1/metrics":          s.handleMetrics,
+		"POST /v1/runs":                 s.handleSubmitRun,
+		"POST /v1/sweeps":               s.handleSubmitSweep,
+		"GET /v1/jobs":                  s.handleListJobs,
+		"GET /v1/jobs/{id}":             s.handleGetJob,
+		"DELETE /v1/jobs/{id}":          s.handleCancelJob,
+		"GET /v1/jobs/{id}/events":      s.handleJobEvents,
+		"POST /v1/sessions":             s.handleCreateSession,
+		"GET /v1/sessions":              s.handleListSessions,
+		"GET /v1/sessions/{id}":         s.handleGetSession,
+		"GET /v1/sessions/{id}/state":   s.handleSessionState,
+		"POST /v1/sessions/{id}/pause":  s.handlePauseSession,
+		"POST /v1/sessions/{id}/resume": s.handleResumeSession,
+		"DELETE /v1/sessions/{id}":      s.handleStopSession,
+		"GET /v1/sessions/{id}/stream":  s.handleSessionStream,
+		"GET /v1/stats":                 s.handleStats,
+		"GET /v1/metrics":               s.handleMetrics,
 	} {
 		s.mux.HandleFunc(route, s.logged(route, h))
 	}
@@ -597,7 +629,8 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	// ?fingerprint= narrows the list to jobs for one content-addressed
 	// run — how a client rediscovers its work on a restarted daemon.
-	fp := r.URL.Query().Get("fingerprint")
+	q := r.URL.Query()
+	fp := q.Get("fingerprint")
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
@@ -611,7 +644,57 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, j.snapshot())
 	}
-	writeJSON(w, http.StatusOK, out)
+	// ?limit=/?after= switch the response to the paged JobPage shape; the
+	// parameterless call keeps returning the bare array for one
+	// deprecation window (DESIGN.md §6).
+	if !q.Has("limit") && !q.Has("after") {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	page, err := pageJobs(out, q.Get("limit"), q.Get("after"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// pageJobs slices the (already filtered) submission-ordered job list
+// into one page: entries strictly after the `after` cursor, at most
+// `limit` of them. NextAfter carries the cursor of the following page,
+// empty when the page reaches the end.
+func pageJobs(jobs []api.Job, limitStr, after string) (api.JobPage, error) {
+	start := 0
+	if after != "" {
+		found := false
+		for i, j := range jobs {
+			if j.ID == after {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			return api.JobPage{}, fmt.Errorf("unknown after cursor %q", after)
+		}
+	}
+	end := len(jobs)
+	if limitStr != "" {
+		limit, err := strconv.Atoi(limitStr)
+		if err != nil || limit <= 0 {
+			return api.JobPage{}, fmt.Errorf("limit must be a positive integer, got %q", limitStr)
+		}
+		if start+limit < end {
+			end = start + limit
+		}
+	}
+	page := api.JobPage{SchemaVersion: api.SchemaVersion, Jobs: jobs[start:end]}
+	if page.Jobs == nil {
+		page.Jobs = []api.Job{}
+	}
+	if end < len(jobs) && end > start {
+		page.NextAfter = jobs[end-1].ID
+	}
+	return page, nil
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
@@ -673,12 +756,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	s.metrics.AddSSESubscribers(1)
 	defer s.metrics.AddSSESubscribers(-1)
 
+	// Frames go through the shared api.Event envelope. Job frames stay
+	// UNNAMED (no `event:` line, bare Job payload) for one deprecation
+	// window — pre-envelope clients parse only id:/data: lines, and an
+	// `event: snapshot`-style name would be invisible to them but a
+	// changed payload shape would not (DESIGN.md §6).
 	emit := func(seq uint64, snap api.Job) bool {
-		data, err := json.Marshal(snap)
-		if err != nil {
+		ev := api.Event{Type: api.EventJob, Seq: seq, Job: &snap}
+		if err := ev.WriteSSE(w); err != nil {
 			return false
 		}
-		fmt.Fprintf(w, "id: %d\nevent: state\ndata: %s\n\n", seq, data)
 		fl.Flush()
 		return !api.TerminalState(snap.State)
 	}
@@ -743,6 +830,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	sessStats := s.sessions.Stats()
+	stats.Sessions = &sessStats
 	stats.Telemetry = s.metrics.Values()
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -782,12 +871,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // Drain stops admissions and waits for every in-flight job to reach a
 // terminal state, or for ctx to expire. Queued jobs still execute — a
 // drain loses no accepted work — and status endpoints keep serving, so
-// clients can collect results while the daemon winds down.
+// clients can collect results while the daemon winds down. Live
+// sessions are the exception: a paced session could stream forever, so
+// drain stops them (their streams end on a stopped terminal snapshot)
+// rather than waiting them out.
 func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.Swap(true) {
 		return nil // already draining
 	}
-	s.log.Info("draining: admissions closed, waiting for in-flight jobs")
+	s.log.Info("draining: admissions closed, stopping sessions, waiting for in-flight jobs")
+	if err := s.sessions.DrainAndStop(ctx); err != nil {
+		return fmt.Errorf("server: drain interrupted: %w", err)
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()

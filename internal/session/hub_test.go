@@ -1,0 +1,245 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// mkState builds a deterministic state for step i so tests can assert
+// exact fold results.
+func mkState(i int) api.SessionState {
+	return api.SessionState{
+		SimMS: int64(i) * 500,
+		Nodes: []api.SessionNode{
+			{Util: float64(i%7) / 10},
+			{Util: 0.5, Down: i%2 == 0},
+		},
+		Tasks: []api.SessionTask{
+			{Name: "t", Stages: [][]int{{i % 3}, {1, i % 5}}, Completed: i},
+		},
+		Metrics: api.Metrics{Periods: i, Completed: i},
+	}
+}
+
+// fold applies one stream event to a client-side state: snapshots
+// replace, diffs apply.
+func fold(st *api.SessionState, ev api.Event) {
+	switch ev.Type {
+	case api.EventSnapshot:
+		*st = ev.Snapshot.Clone()
+	case api.EventDiff:
+		st.Apply(*ev.Diff)
+	}
+}
+
+// drain folds the subscriber's whole stream and returns the final
+// state, the last event seen, and how many events arrived.
+func drain(t *testing.T, sub *Subscriber) (api.SessionState, api.Event, int) {
+	t.Helper()
+	var st api.SessionState
+	var last api.Event
+	n := 0
+	for {
+		ev, err := sub.Next(context.Background())
+		if errors.Is(err, ErrClosed) {
+			return st, last, n
+		}
+		if err != nil {
+			// Errorf, not Fatalf: drain runs on subscriber goroutines.
+			t.Errorf("Next: %v", err)
+			return st, last, n
+		}
+		fold(&st, ev)
+		last = ev
+		n++
+	}
+}
+
+// TestHubFanOut1000 drives 1000 concurrent subscribers — some joining
+// mid-stream — through a 200-state publish and asserts every one of
+// them folds to exactly the final state. Run under -race this is also
+// the hub's data-race certification.
+func TestHubFanOut1000(t *testing.T) {
+	const subs, steps = 1000, 200
+	h := newHub(64, 512)
+	var wg sync.WaitGroup
+	results := make([]api.SessionState, subs)
+	lasts := make([]api.Event, subs)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Subscribers race the publisher: some attach before the
+			// first event, some mid-stream, some after close. All must
+			// converge on the same final state.
+			sub := h.Subscribe(0, 0)
+			results[i], lasts[i], _ = drain(t, sub)
+			h.Unsubscribe(sub)
+		}(i)
+	}
+	for i := 1; i <= steps; i++ {
+		h.Publish(api.Session{ID: "sess-1", State: api.SessionRunning}, mkState(i))
+	}
+	h.Publish(api.Session{ID: "sess-1", State: api.SessionRunning}, mkState(steps+1))
+	h.Close(api.Session{ID: "sess-1", State: api.SessionDone})
+	wg.Wait()
+	want := mkState(steps + 1)
+	for i := 0; i < subs; i++ {
+		if !results[i].Equal(want) {
+			t.Fatalf("subscriber %d folded to %+v, want %+v", i, results[i], want)
+		}
+		if lasts[i].Type != api.EventSnapshot || lasts[i].Session.State != api.SessionDone {
+			t.Fatalf("subscriber %d last event: %+v, want terminal snapshot", i, lasts[i])
+		}
+	}
+	if h.Subscribers() != 0 {
+		t.Errorf("%d subscribers still attached", h.Subscribers())
+	}
+}
+
+// TestSlowConsumerEviction pins the no-blocking contract: a subscriber
+// that never reads cannot stall publishing; it is evicted exactly once
+// (counted), and its eventual read resyncs from a snapshot that — with
+// the diffs after it — still folds to the true state.
+func TestSlowConsumerEviction(t *testing.T) {
+	h := newHub(64, 4)
+	sub := h.Subscribe(0, 4)
+	// Publish far past the ring with no reader: must complete (push
+	// never blocks) and evict exactly once (lagged subscribers are
+	// skipped, not re-evicted).
+	for i := 1; i <= 10; i++ {
+		h.Publish(api.Session{State: api.SessionRunning}, mkState(i))
+	}
+	if got := h.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// First read after eviction: a snapshot of the current state at the
+	// current seq, not the missed diffs.
+	ev, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != api.EventSnapshot || ev.Seq != 10 {
+		t.Fatalf("post-eviction read = %s seq %d, want snapshot seq 10", ev.Type, ev.Seq)
+	}
+	st := ev.Snapshot.Clone()
+	// Back in sync: later publishes arrive as diffs and fold exactly.
+	for i := 11; i <= 13; i++ {
+		h.Publish(api.Session{State: api.SessionRunning}, mkState(i))
+	}
+	for i := 11; i <= 13; i++ {
+		ev, err := sub.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != api.EventDiff || ev.Seq != uint64(i) {
+			t.Fatalf("resynced read = %s seq %d, want diff seq %d", ev.Type, ev.Seq, i)
+		}
+		fold(&st, ev)
+	}
+	if !st.Equal(mkState(13)) {
+		t.Fatalf("fold after eviction drifted:\n got %+v\nwant %+v", st, mkState(13))
+	}
+}
+
+// TestResume pins Last-Event-ID semantics: a resume inside the replay
+// window replays exactly the missed tail; a resume from before the
+// window (or on a pruned hub) falls back to a fresh snapshot.
+func TestResume(t *testing.T) {
+	h := newHub(8, 16)
+	for i := 1; i <= 10; i++ {
+		h.Publish(api.Session{State: api.SessionRunning}, mkState(i))
+	}
+	// Window now holds seqs 3..10. Resume from 5: replay 6..10.
+	sub := h.Subscribe(5, 16)
+	st := mkState(5)
+	for i := 6; i <= 10; i++ {
+		ev, err := sub.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != api.EventDiff || ev.Seq != uint64(i) {
+			t.Fatalf("replayed event = %s seq %d, want diff seq %d", ev.Type, ev.Seq, i)
+		}
+		fold(&st, ev)
+	}
+	if !st.Equal(mkState(10)) {
+		t.Fatalf("replayed fold drifted:\n got %+v\nwant %+v", st, mkState(10))
+	}
+	h.Unsubscribe(sub)
+
+	// Resume from before the window: snapshot at the current seq.
+	stale := h.Subscribe(1, 16)
+	ev, err := stale.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != api.EventSnapshot || ev.Seq != 10 {
+		t.Fatalf("stale resume = %s seq %d, want snapshot seq 10", ev.Type, ev.Seq)
+	}
+	if !ev.Snapshot.Equal(mkState(10)) {
+		t.Errorf("stale-resume snapshot is not the current state")
+	}
+	h.Unsubscribe(stale)
+
+	// Resume at the head: nothing to replay; the next publish arrives
+	// as a plain diff.
+	head := h.Subscribe(10, 16)
+	h.Publish(api.Session{State: api.SessionRunning}, mkState(11))
+	ev, err = head.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != api.EventDiff || ev.Seq != 11 {
+		t.Fatalf("head resume read = %s seq %d, want diff seq 11", ev.Type, ev.Seq)
+	}
+}
+
+// TestLateJoinAfterClose: subscribing to a finished stream yields the
+// terminal snapshot, then ErrClosed.
+func TestLateJoinAfterClose(t *testing.T) {
+	h := newHub(8, 16)
+	h.Publish(api.Session{State: api.SessionRunning}, mkState(1))
+	h.Close(api.Session{State: api.SessionDone})
+	sub := h.Subscribe(0, 16)
+	ev, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != api.EventSnapshot || ev.Session.State != api.SessionDone {
+		t.Fatalf("late join got %s (session %+v), want terminal snapshot", ev.Type, ev.Session)
+	}
+	if !ev.Snapshot.Equal(mkState(1)) {
+		t.Errorf("terminal snapshot is not the final state")
+	}
+	if _, err := sub.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after terminal snapshot: %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseWithoutState: a stream that dies before its first sample
+// closes without a snapshot (there is no state to snapshot).
+func TestCloseWithoutState(t *testing.T) {
+	h := newHub(8, 16)
+	sub := h.Subscribe(0, 16)
+	h.Close(api.Session{State: api.SessionFailed})
+	if _, err := sub.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestNextHonorsContext: a blocked Next returns the context error — the
+// mechanism stream handlers build heartbeats on.
+func TestNextHonorsContext(t *testing.T) {
+	h := newHub(8, 16)
+	sub := h.Subscribe(0, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sub.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
